@@ -1,0 +1,192 @@
+// Benchmarks, one per table/figure of the paper's evaluation (DESIGN.md's
+// experiment index), plus ablation benches for the design choices called
+// out there. Each benchmark runs the same experiment code as cmd/rmtbench
+// and reports the headline metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation at reduced size (use cmd/rmtbench for
+// the full-size recorded numbers in EXPERIMENTS.md).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func benchParams(b *testing.B) exp.Params {
+	p := exp.Quick()
+	if !testing.Short() {
+		p.Budget = 15000
+		p.Warmup = 10000
+	}
+	return p
+}
+
+// benchExperiment runs one experiment per iteration and reports its summary
+// metrics.
+func benchExperiment(b *testing.B, run func(exp.Params) (*stats.Table, map[string]float64, error)) {
+	p := benchParams(b)
+	b.ResetTimer()
+	var summary map[string]float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, summary, err = run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, k := range stats.SortedKeys(summary) {
+		b.ReportMetric(summary[k], k)
+	}
+}
+
+// BenchmarkTable1_BaseIPC measures the base machine itself: simulated IPC
+// on a representative kernel and simulator throughput (simulated cycles per
+// wall-second is the benchmark's ns/op inverse).
+func BenchmarkTable1_BaseIPC(b *testing.B) {
+	p := benchParams(b)
+	var ipc float64
+	for i := 0; i < b.N; i++ {
+		m, err := sim.Build(sim.Spec{
+			Mode: sim.ModeBase, Programs: []string{"gcc"},
+			Budget: p.Budget, Warmup: p.Warmup, Config: pipeline.DefaultConfig(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ipc = rs.LogicalIPC[0]
+	}
+	b.ReportMetric(ipc, "IPC")
+}
+
+// BenchmarkFig6_SRT regenerates Figure 6: single logical thread under
+// Base2 / SRT / SRT+ptSQ / SRT+noSC.
+func BenchmarkFig6_SRT(b *testing.B) { benchExperiment(b, exp.Fig6) }
+
+// BenchmarkFig7_PSR regenerates Figure 7: preferential space redundancy.
+func BenchmarkFig7_PSR(b *testing.B) { benchExperiment(b, exp.Fig7) }
+
+// BenchmarkFig8_SRT2 regenerates the two-logical-thread SRT figure.
+func BenchmarkFig8_SRT2(b *testing.B) { benchExperiment(b, exp.Fig8) }
+
+// BenchmarkFig9_StoreLifetime regenerates the store-queue pressure figure.
+func BenchmarkFig9_StoreLifetime(b *testing.B) { benchExperiment(b, exp.Fig9) }
+
+// BenchmarkFig10_Lock_CRT1 regenerates lockstep-vs-CRT, one logical thread.
+func BenchmarkFig10_Lock_CRT1(b *testing.B) { benchExperiment(b, exp.Fig10) }
+
+// BenchmarkFig11_Lock_CRT2 regenerates lockstep-vs-CRT, two logical threads.
+func BenchmarkFig11_Lock_CRT2(b *testing.B) { benchExperiment(b, exp.Fig11) }
+
+// BenchmarkFig12_Lock_CRT4 regenerates lockstep-vs-CRT, four logical
+// threads.
+func BenchmarkFig12_Lock_CRT4(b *testing.B) { benchExperiment(b, exp.Fig12) }
+
+// BenchmarkCoverage_Faults regenerates the fault-injection campaigns.
+func BenchmarkCoverage_Faults(b *testing.B) { benchExperiment(b, exp.Coverage) }
+
+// --- ablation benches (design choices from DESIGN.md §5) ---
+
+func ablationEff(b *testing.B, p exp.Params, spec sim.Spec) float64 {
+	base, err := sim.BaseIPC(p.Config, p.Warmup, p.Budget, spec.Programs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Budget = p.Budget
+	spec.Warmup = p.Warmup
+	if spec.Config.RetireWidth == 0 {
+		spec.Config = p.Config
+	}
+	m, err := sim.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := m.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sum float64
+	for i, name := range spec.Programs {
+		sum += rs.LogicalIPC[i] / base[name]
+	}
+	return sum / float64(len(spec.Programs))
+}
+
+// BenchmarkAblation_SlackFetch compares the paper's LPQ-priority trailing
+// fetch policy with the original SRT slack-fetch mechanism (the paper found
+// the LPQ's inherent delay subsumes slack fetch).
+func BenchmarkAblation_SlackFetch(b *testing.B) {
+	p := benchParams(b)
+	var lpq, slack float64
+	for i := 0; i < b.N; i++ {
+		lpq = ablationEff(b, p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: []string{"gcc"}})
+		slack = ablationEff(b, p, sim.Spec{Mode: sim.ModeSRT, PSR: true, SlackFetch: 64, Programs: []string{"gcc"}})
+	}
+	b.ReportMetric(lpq, "eff-lpq-priority")
+	b.ReportMetric(slack, "eff-slack-64")
+}
+
+// BenchmarkAblation_LVQDepth sweeps the load value queue size: too shallow
+// an LVQ throttles the leading thread's retirement.
+func BenchmarkAblation_LVQDepth(b *testing.B) {
+	p := benchParams(b)
+	effs := map[int]float64{}
+	sizes := []int{8, 16, 64}
+	for i := 0; i < b.N; i++ {
+		for _, sz := range sizes {
+			cfg := p.Config
+			cfg.LVQSize = sz
+			effs[sz] = ablationEff(b, p, sim.Spec{
+				Mode: sim.ModeSRT, PSR: true, Programs: []string{"li"}, Config: cfg,
+			})
+		}
+	}
+	b.ReportMetric(effs[8], "eff-lvq8")
+	b.ReportMetric(effs[16], "eff-lvq16")
+	b.ReportMetric(effs[64], "eff-lvq64")
+}
+
+// BenchmarkAblation_CRTForwardLatency checks CRT's robustness to the
+// cross-core datapath latency: the decoupling queues keep it off the
+// critical path (contrast with the checker latency, which lockstepping
+// pays on every cache miss).
+func BenchmarkAblation_CRTForwardLatency(b *testing.B) {
+	p := benchParams(b)
+	var crt float64
+	for i := 0; i < b.N; i++ {
+		crt = ablationEff(b, p, sim.Spec{Mode: sim.ModeCRT, PSR: true, Programs: []string{"gcc", "swim"}})
+	}
+	b.ReportMetric(crt, "eff-crt-4cycle")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// instructions per wall-clock second over a mixed 4-thread workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p := benchParams(b)
+	var simulated uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := sim.Build(sim.Spec{
+			Mode: sim.ModeBase, Programs: []string{"gcc", "go", "swim", "fpppp"},
+			Budget: p.Budget, Warmup: p.Warmup, Config: pipeline.DefaultConfig(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		simulated += rs.TotalCommitted()
+	}
+	b.ReportMetric(float64(simulated)/float64(b.N), "instructions/op")
+}

@@ -1,0 +1,114 @@
+// Command faultinject runs transient fault-injection campaigns against an
+// RMT machine and reports detection coverage and latency, or injects one
+// precisely-placed fault and narrates the outcome.
+//
+// Usage:
+//
+//	faultinject -progs compress -n 50            # campaign on SRT
+//	faultinject -mode crt -progs gcc,swim -n 20  # campaign on CRT
+//	faultinject -one -seq 5000 -bit 7 -point storedata -target trailing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		modeFlag  = flag.String("mode", "srt", "machine: srt or crt")
+		progsFlag = flag.String("progs", "compress", "comma-separated workload kernels")
+		n         = flag.Int("n", 40, "campaign size")
+		seed      = flag.Uint64("seed", 0xC0FFEE, "campaign seed")
+		budget    = flag.Uint64("budget", 20000, "measured instructions per thread")
+		warmup    = flag.Uint64("warmup", 5000, "warmup instructions")
+
+		one    = flag.Bool("one", false, "inject a single described fault instead of a campaign")
+		seq    = flag.Uint64("seq", 8000, "dynamic instruction number for -one")
+		bit    = flag.Uint("bit", 0, "bit to flip for -one")
+		point  = flag.String("point", "result", "corruption point for -one: result, storedata, storeaddr, loadvalue")
+		target = flag.String("target", "leading", "copy to strike for -one: leading or trailing")
+	)
+	flag.Parse()
+
+	mode := sim.ModeSRT
+	if *modeFlag == "crt" {
+		mode = sim.ModeCRT
+	} else if *modeFlag != "srt" {
+		fatal(fmt.Errorf("faultinject: mode must be srt or crt"))
+	}
+	spec := sim.Spec{
+		Mode:     mode,
+		Programs: strings.Split(*progsFlag, ","),
+		Budget:   *budget,
+		Warmup:   *warmup,
+		Config:   pipeline.DefaultConfig(),
+		PSR:      true,
+	}
+
+	if *one {
+		pt, err := parsePoint(*point)
+		if err != nil {
+			fatal(err)
+		}
+		tg := fault.LeadingCopy
+		if *target == "trailing" {
+			tg = fault.TrailingCopy
+		}
+		f := fault.Transient{Target: tg, AtSeq: *seq, Point: pt, Bit: *bit}
+		res, err := fault.RunOne(spec, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("injected %v\noutcome: %v\n", f, res.Outcome)
+		if res.Outcome == fault.Detected {
+			fmt.Printf("detection latency: %d cycles\n", res.DetectionCycles)
+		}
+		return
+	}
+
+	sum, err := fault.Campaign(spec, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign: mode=%v progs=%v trials=%d\n", mode, spec.Programs, sum.Runs)
+	fmt.Printf("  detected:  %d\n  masked:    %d\n  not fired: %d\n", sum.Detected, sum.Masked, sum.NotFired)
+	fmt.Printf("  coverage of fired faults: %.1f%%\n", 100*sum.Coverage())
+	if sum.Detected > 0 {
+		fmt.Printf("  mean detection latency:   %.0f cycles\n", sum.MeanDetectionCycles)
+	}
+	fmt.Println("\nper-trial outcomes:")
+	for _, r := range sum.Results {
+		lat := ""
+		if r.Outcome == fault.Detected {
+			lat = fmt.Sprintf(" (%d cycles)", r.DetectionCycles)
+		}
+		fmt.Printf("  %v -> %v%s\n", r.Fault, r.Outcome, lat)
+	}
+}
+
+func parsePoint(s string) (vm.CorruptPoint, error) {
+	switch s {
+	case "result":
+		return vm.PointResult, nil
+	case "storedata":
+		return vm.PointStoreData, nil
+	case "storeaddr":
+		return vm.PointStoreAddr, nil
+	case "loadvalue":
+		return vm.PointLoadValue, nil
+	}
+	return 0, fmt.Errorf("faultinject: unknown corruption point %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

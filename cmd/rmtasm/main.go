@@ -1,0 +1,112 @@
+// Command rmtasm inspects workload kernels: disassembly listings, static
+// statistics, binary encodings, and a dynamic opcode/character profile from
+// functional execution.
+//
+// Usage:
+//
+//	rmtasm -prog gcc            # disassembly + static stats
+//	rmtasm -prog swim -profile  # add a 100k-instruction dynamic profile
+//	rmtasm -prog li -hex        # include binary encodings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/vm"
+)
+
+func main() {
+	var (
+		progName = flag.String("prog", "gcc", "kernel to inspect")
+		profile  = flag.Bool("profile", false, "run 100k instructions and print a dynamic profile")
+		hex      = flag.Bool("hex", false, "include binary encodings")
+		n        = flag.Uint64("n", 100000, "instructions for -profile")
+	)
+	flag.Parse()
+
+	info, err := program.Get(*progName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p := info.Build()
+
+	fmt.Printf("%s (%s): %s\n", info.Name, info.Suite, info.Description)
+	fmt.Printf("code: %d instructions, data image: %d bytes, interrupt handler: %d\n\n",
+		len(p.Code), p.DataFootprint(), p.InterruptHandler)
+
+	// Static mix.
+	static := map[string]int{}
+	branches := 0
+	for _, ins := range p.Code {
+		static[ins.Op.String()]++
+		if ins.IsBranch() {
+			branches++
+		}
+	}
+	fmt.Printf("static: %d branch sites (%.1f%% of code)\n\n",
+		branches, 100*float64(branches)/float64(len(p.Code)))
+
+	// Listing.
+	for pc, ins := range p.Code {
+		if *hex {
+			fmt.Printf("%5d  %016x  %s\n", pc, uint64(isa.MustEncode(ins)), ins)
+		} else {
+			fmt.Printf("%5d  %s\n", pc, ins)
+		}
+	}
+
+	if !*profile {
+		return
+	}
+	memImg := vm.NewMemory()
+	vm.Load(p, memImg)
+	th := vm.NewThread(0, p, memImg)
+	counts := map[string]uint64{}
+	var loads, stores, brs, taken uint64
+	for i := uint64(0); i < *n && !th.Halted; i++ {
+		out := th.Step()
+		counts[out.Instr.Op.String()]++
+		switch {
+		case out.Instr.IsLoad():
+			loads++
+		case out.Instr.IsStore():
+			stores++
+		case out.Instr.IsBranch():
+			brs++
+			if out.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("\ndynamic profile over %d instructions:\n", *n)
+	fmt.Printf("  loads %.1f%%  stores %.1f%%  branches %.1f%% (%.1f%% taken)\n",
+		pct(loads, *n), pct(stores, *n), pct(brs, *n), pct(taken, brs))
+	type kv struct {
+		op string
+		n  uint64
+	}
+	var mix []kv
+	for op, c := range counts {
+		mix = append(mix, kv{op, c})
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })
+	for i, e := range mix {
+		if i >= 12 {
+			break
+		}
+		fmt.Printf("  %-8s %6.2f%%\n", e.op, pct(e.n, *n))
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,93 @@
+// Command rmtbench regenerates the paper's evaluation: every table and
+// figure in DESIGN.md's experiment index.
+//
+// Usage:
+//
+//	rmtbench                  # run everything at full size
+//	rmtbench -exp fig6,fig11  # selected experiments
+//	rmtbench -quick           # cut-down sizes (smoke)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(exp.Params) (*stats.Table, map[string]float64, error)
+}
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (table1,fig6,...,fig12,coverage)")
+		quick   = flag.Bool("quick", false, "use cut-down sizes")
+		budget  = flag.Uint64("budget", 0, "override measured instructions per thread")
+		warmup  = flag.Uint64("warmup", 0, "override warmup instructions")
+		csvDir  = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	p := exp.Full()
+	if *quick {
+		p = exp.Quick()
+	}
+	if *budget > 0 {
+		p.Budget = *budget
+	}
+	if *warmup > 0 {
+		p.Warmup = *warmup
+	}
+
+	experiments := []experiment{
+		{"fig6", "SRT single logical thread (Base2 / SRT / ptSQ / noSC)", exp.Fig6},
+		{"fig7", "preferential space redundancy", exp.Fig7},
+		{"fig8", "SRT with two logical threads", exp.Fig8},
+		{"fig9", "store-queue lifetime and size sensitivity", exp.Fig9},
+		{"fig10", "lockstep vs CRT, one logical thread", exp.Fig10},
+		{"fig11", "lockstep vs CRT, two logical threads", exp.Fig11},
+		{"fig12", "lockstep vs CRT, four logical threads", exp.Fig12},
+		{"coverage", "fault-injection campaigns", exp.Coverage},
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+
+	if all || want["table1"] {
+		fmt.Println(exp.Table1(pipeline.DefaultConfig()))
+	}
+	for _, e := range experiments {
+		if !all && !want[e.id] {
+			continue
+		}
+		fmt.Printf("--- %s: %s (budget=%d warmup=%d) ---\n", e.id, e.desc, p.Budget, p.Warmup)
+		tbl, summary, err := e.run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmtbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		for _, k := range stats.SortedKeys(summary) {
+			fmt.Printf("summary %s.%s = %.4f\n", e.id, k, summary[k])
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.id+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rmtbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Command rmtsim runs one workload on one machine configuration and prints
+// detailed statistics: IPC, SMT-Efficiency against the base machine,
+// prediction and cache rates, queue pressure, and RMT structure activity.
+//
+// Usage:
+//
+//	rmtsim -mode srt -progs gcc                 # one redundant pair
+//	rmtsim -mode crt -progs gcc,swim            # cross-coupled CMP
+//	rmtsim -mode lockstep -checker 8 -progs gcc # Lock8
+//	rmtsim -list                                # show the workload suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		modeFlag  = flag.String("mode", "base", "machine: base, base2, srt, lockstep, crt")
+		progsFlag = flag.String("progs", "gcc", "comma-separated workload kernels")
+		budget    = flag.Uint64("budget", 50000, "measured committed instructions per logical program")
+		warmup    = flag.Uint64("warmup", 20000, "warmup instructions before measurement")
+		ptsq      = flag.Bool("ptsq", false, "per-thread store queues")
+		psr       = flag.Bool("psr", true, "preferential space redundancy")
+		nosc      = flag.Bool("nosc", false, "disable store output comparison")
+		checker   = flag.Uint64("checker", 8, "lockstep checker latency (cycles)")
+		slack     = flag.Uint64("slack", 0, "slack-fetch instruction count (0 = LPQ priority)")
+		list      = flag.Bool("list", false, "list the workload suite and exit")
+		noRel     = flag.Bool("norel", false, "skip the base-machine reference runs")
+		traceN    = flag.Int("trace", 0, "dump a pipeline trace of the first N retired instructions")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range program.Names() {
+			info, _ := program.Get(n)
+			fmt.Printf("%-10s %-4s %s\n", info.Name, info.Suite, info.Description)
+		}
+		return
+	}
+
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	progs := strings.Split(*progsFlag, ",")
+
+	spec := sim.Spec{
+		Mode:              mode,
+		Programs:          progs,
+		Budget:            *budget,
+		Warmup:            *warmup,
+		Config:            pipeline.DefaultConfig(),
+		PSR:               *psr,
+		PerThreadSQ:       *ptsq,
+		NoStoreComparison: *nosc,
+		CheckerLatency:    *checker,
+		SlackFetch:        *slack,
+	}
+	m, err := sim.Build(spec)
+	if err != nil {
+		fatal(err)
+	}
+	var collector *trace.Collector
+	if *traceN > 0 {
+		collector = trace.NewCollector(*traceN)
+		m.Cores[0].Trace = collector.Hook()
+	}
+	rs, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if collector != nil {
+		fmt.Println("pipeline trace (F fetch, D dispatch, I issue, C complete, X retire):")
+		fmt.Print(trace.Format(collector.Records(), 0, 0))
+		fmt.Println()
+	}
+
+	fmt.Printf("mode=%v programs=%v warmup=%d budget=%d cycles=%d\n\n", mode, progs, *warmup, *budget, rs.Cycles)
+
+	var baseIPC map[string]float64
+	if !*noRel {
+		baseIPC, err = sim.BaseIPC(pipeline.DefaultConfig(), *warmup, *budget, progs...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	tbl := &stats.Table{
+		Title:   "per-logical-thread results",
+		Columns: []string{"program", "IPC", "SMT-eff", "brMiss%", "lineMiss%", "I$miss", "D$miss", "sqStall", "storeLife"},
+	}
+	var effs []float64
+	for i, name := range progs {
+		lead := m.Leads[i]
+		ts := lead.Stats
+		eff := 0.0
+		if baseIPC != nil && baseIPC[name] > 0 {
+			eff = rs.LogicalIPC[i] / baseIPC[name]
+			effs = append(effs, eff)
+		}
+		tbl.AddRow(name,
+			fmt.Sprintf("%.3f", rs.LogicalIPC[i]),
+			fmt.Sprintf("%.3f", eff),
+			fmt.Sprintf("%.1f", 100*ts.BranchMispredictRate()),
+			fmt.Sprintf("%.1f", 100*ts.LineMispredictRate()),
+			fmt.Sprint(ts.ICacheMisses.Value()),
+			fmt.Sprint(ts.DCacheMisses.Value()),
+			fmt.Sprint(ts.SQFullStalls.Value()),
+			fmt.Sprintf("%.1f", ts.StoreLifetime.Value()),
+		)
+	}
+	fmt.Println(tbl)
+	if len(effs) > 0 {
+		fmt.Printf("mean SMT-Efficiency: %.3f\n", stats.ArithMean(effs))
+	}
+
+	for _, p := range m.Pairs {
+		fmt.Printf("\npair %d (%s): comparisons=%d mismatches=%d lvqPushes=%d lvqWaits=%d lpqPushes=%d forcedTerms=%d sameHalf=%.4f sameFU=%.4f\n",
+			p.LogicalID, progs[p.LogicalID],
+			p.Cmp.Comparisons.Value(), p.Cmp.Mismatches.Value(),
+			p.LVQ.Pushes.Value(), p.LVQ.Waits.Value(),
+			p.LPQ.Pushes.Value(), p.Agg.ForcedTerminations.Value(),
+			p.SameHalfFrac(), p.SameFUFrac())
+	}
+
+	for ci, co := range m.Cores {
+		h := co.Hierarchy()
+		fmt.Printf("\ncore %d caches: l1i miss %.3f%% (%d/%d)  l1d miss %.3f%%  l2 miss %.3f%%\n",
+			ci,
+			100*h.L1I.MissRate(), h.L1I.Misses.Value(), h.L1I.Hits.Value()+h.L1I.Misses.Value(),
+			100*h.L1D.MissRate(), 100*h.L2.MissRate())
+	}
+}
+
+func parseMode(s string) (sim.Mode, error) {
+	switch s {
+	case "base":
+		return sim.ModeBase, nil
+	case "base2":
+		return sim.ModeBase2, nil
+	case "srt":
+		return sim.ModeSRT, nil
+	case "lockstep":
+		return sim.ModeLockstep, nil
+	case "crt":
+		return sim.ModeCRT, nil
+	}
+	return 0, fmt.Errorf("rmtsim: unknown mode %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Detailed Design and
+// Evaluation of Redundant Multithreading Alternatives" (Mukherjee, Kontz,
+// Reinhardt; ISCA 2002): a cycle-level model of an EV8-class SMT processor
+// with the paper's SRT, lockstepping and CRT fault-detection organisations,
+// an 18-kernel SPEC CPU95-analog workload suite, a fault-injection
+// framework, and a benchmark harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go drive the same experiment code as
+// cmd/rmtbench.
+package repro

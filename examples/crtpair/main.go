@@ -1,0 +1,77 @@
+// CRT vs lockstepping on a two-program workload — the paper's second
+// contribution. A two-way CMP can detect faults either by lockstepping its
+// cores (identical computation every cycle, checker on every output signal)
+// or by chip-level redundant threading: leading and trailing copies on
+// different cores, cross-coupled so that each core runs one program's
+// resource-hungry leading thread next to the *other* program's cheap
+// trailing thread.
+//
+//	go run ./examples/crtpair
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+func main() {
+	progs := []string{"gcc", "swim"}
+	const budget, warmup = 30000, 30000
+
+	baseIPC, err := sim.BaseIPC(pipeline.DefaultConfig(), warmup, budget, progs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runMode := func(spec sim.Spec) float64 {
+		spec.Programs = progs
+		spec.Budget = budget
+		spec.Warmup = warmup
+		spec.Config = pipeline.DefaultConfig()
+		m, err := sim.Build(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// SMT-Efficiency: mean over programs of IPC / single-thread base IPC.
+		var sum float64
+		for i, p := range progs {
+			sum += rs.LogicalIPC[i] / baseIPC[p]
+		}
+		if spec.Mode == sim.ModeCRT {
+			for _, p := range m.Pairs {
+				fmt.Printf("   pair %d (%s): leading on core %d, trailing on core %d\n",
+					p.LogicalID, progs[p.LogicalID], p.LeadCore, p.TrailCore)
+			}
+		}
+		return sum / float64(len(progs))
+	}
+
+	fmt.Printf("workload: %v, both fully protected against transient faults\n\n", progs)
+
+	fmt.Println("1. lockstepped cores (Lock8: realistic 8-cycle checker):")
+	lock8 := runMode(sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 8})
+	fmt.Printf("   SMT-Efficiency: %.3f\n\n", lock8)
+
+	fmt.Println("2. lockstepped cores (Lock0: ideal zero-latency checker):")
+	lock0 := runMode(sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 0})
+	fmt.Printf("   SMT-Efficiency: %.3f\n\n", lock0)
+
+	fmt.Println("3. chip-level redundant threading (CRT), cross-coupled:")
+	crt := runMode(sim.Spec{Mode: sim.ModeCRT, PSR: true})
+	fmt.Printf("   SMT-Efficiency: %.3f\n\n", crt)
+
+	fmt.Println("4. CRT with per-thread store queues:")
+	crtP := runMode(sim.Spec{Mode: sim.ModeCRT, PSR: true, PerThreadSQ: true})
+	fmt.Printf("   SMT-Efficiency: %.3f\n\n", crtP)
+
+	fmt.Printf("CRT outperforms the realistic lockstep machine by %.0f%%\n",
+		100*(crt/lock8-1))
+	fmt.Println("(the paper reports 13% on average, up to 22%, for such workloads)")
+}

@@ -1,0 +1,456 @@
+// Package exp drives the paper's evaluation: one function per table/figure,
+// each returning a text table with the same rows and series the paper
+// reports. cmd/rmtbench and the repository's benchmarks call these.
+//
+// Figure/table numbering follows DESIGN.md's experiment index. The paper's
+// published numbers (where the supplied text states them) are embedded in
+// the table titles for side-by-side comparison; EXPERIMENTS.md records a
+// full paper-vs-measured discussion.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Params sizes the experiments.
+type Params struct {
+	// Budget is measured instructions per logical thread; Warmup precedes
+	// it.
+	Budget uint64
+	Warmup uint64
+	// CampaignRuns sizes fault-injection campaigns.
+	CampaignRuns int
+	Config       pipeline.Config
+}
+
+// Full returns the parameters used for the recorded results: large enough
+// for steady-state behaviour on every kernel.
+func Full() Params {
+	return Params{Budget: 50000, Warmup: 50000, CampaignRuns: 40, Config: pipeline.DefaultConfig()}
+}
+
+// Quick returns cut-down parameters for tests and -short benchmarks.
+func Quick() Params {
+	return Params{Budget: 8000, Warmup: 5000, CampaignRuns: 8, Config: pipeline.DefaultConfig()}
+}
+
+// baseCache memoises single-thread base IPCs per parameter set.
+type baseCache struct {
+	p    Params
+	ipcs map[string]float64
+}
+
+func newBaseCache(p Params) *baseCache {
+	return &baseCache{p: p, ipcs: make(map[string]float64)}
+}
+
+func (c *baseCache) get(names ...string) (map[string]float64, error) {
+	var missing []string
+	for _, n := range names {
+		if _, ok := c.ipcs[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		got, err := sim.BaseIPC(c.p.Config, c.p.Warmup, c.p.Budget, missing...)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range got {
+			c.ipcs[k] = v
+		}
+	}
+	return c.ipcs, nil
+}
+
+// run executes one spec and returns per-logical-thread SMT-Efficiencies and
+// the run stats.
+func run(p Params, spec sim.Spec, cache *baseCache) ([]float64, *stats.RunStats, *sim.Machine, error) {
+	spec.Budget = p.Budget
+	spec.Warmup = p.Warmup
+	spec.Config = p.Config
+	m, err := sim.Build(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rs, err := m.Run()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("exp: %v %v: %w", spec.Mode, spec.Programs, err)
+	}
+	base, err := cache.get(spec.Programs...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	effs := make([]float64, len(spec.Programs))
+	for i, name := range spec.Programs {
+		if base[name] > 0 {
+			effs[i] = rs.LogicalIPC[i] / base[name]
+		}
+	}
+	return effs, rs, m, nil
+}
+
+// meanEff is the arithmetic mean over logical threads — the paper's
+// SMT-Efficiency for a run (Snavely-Tullsen weighted speedup).
+func meanEff(effs []float64) float64 { return stats.ArithMean(effs) }
+
+// Table1 prints the base processor parameters (the paper's Table 1), taken
+// live from the configuration so the reported machine is the simulated one.
+func Table1(cfg pipeline.Config) *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 1: base processor parameters",
+		Columns: []string{"unit", "parameter", "value"},
+	}
+	add := func(u, p, v string) { t.AddRow(u, p, v) }
+	add("IBOX", "fetch width", fmt.Sprintf("%d x %d-instruction chunks per cycle (same thread)", cfg.FetchChunks, cfg.ChunkSize))
+	add("IBOX", "line predictor", fmt.Sprintf("%d entries", 1<<cfg.LinePredictorBits))
+	add("IBOX", "L1 instruction cache", fmt.Sprintf("%d KB, %d-way, %d B blocks, way prediction", cfg.Hier.L1ISize>>10, cfg.Hier.L1IWays, cfg.Hier.BlockBytes))
+	add("IBOX", "branch predictor", fmt.Sprintf("hybrid, 3 x %d x 2-bit tables (~%d Kbit)", 1<<cfg.BranchPredictorBits, 3*(1<<cfg.BranchPredictorBits)*2/1024))
+	add("IBOX", "memory dependence predictor", fmt.Sprintf("store sets, %d entries", 1<<cfg.StoreSetBits))
+	add("IBOX", "rate matching buffer", fmt.Sprintf("%d instructions per thread", cfg.RMBCap))
+	add("PBOX", "map width", fmt.Sprintf("one %d-instruction chunk per cycle (same thread)", cfg.MapWidth))
+	add("QBOX", "instruction queue", fmt.Sprintf("%d entries in two %d-entry halves", 2*cfg.IQHalfCap, cfg.IQHalfCap))
+	add("QBOX", "issue width", fmt.Sprintf("%d per cycle (%d per half)", 2*cfg.IssuePerHalf, cfg.IssuePerHalf))
+	add("RBOX", "register file", fmt.Sprintf("%d in-flight renames (512 physical - 256 architectural)", cfg.InFlightCap))
+	add("EBOX/FBOX", "functional units", fmt.Sprintf("8 integer, %d FP, %d memory ports", cfg.MaxFPPerCycle, cfg.MaxMemPerCycle))
+	add("MBOX", "L1 data cache", fmt.Sprintf("%d KB, %d-way, %d B blocks, %d load / %d store ports", cfg.Hier.L1DSize>>10, cfg.Hier.L1DWays, cfg.Hier.BlockBytes, cfg.MaxLoadsPerCycle, cfg.MaxStoresPerCycle))
+	add("MBOX", "load queue", fmt.Sprintf("%d entries (statically divided)", cfg.LQCap))
+	add("MBOX", "store queue", fmt.Sprintf("%d entries (statically divided)", cfg.SQCap))
+	add("MBOX", "coalescing merge buffer", fmt.Sprintf("%d blocks", cfg.MergeBufEntries))
+	add("system", "L2 cache", fmt.Sprintf("%d MB, %d-way, %d-cycle", cfg.Hier.L2Size>>20, cfg.Hier.L2Ways, cfg.Hier.L2Latency))
+	add("system", "memory", fmt.Sprintf("%d-cycle flat latency", cfg.Hier.MemLatency))
+	add("pipeline", "stage latencies", fmt.Sprintf("I=%d P=%d Q=%d R=%d E=1 M=%d", pipeline.IBOXLatency, pipeline.PBOXLatency, pipeline.QBOXLatency, pipeline.RBOXLatency, pipeline.MBOXLatency))
+	return t
+}
+
+// Fig6 reproduces Figure 6: SMT-Efficiency of one logical thread under
+// Base2, SRT, SRT with per-thread store queues, and SRT without store
+// comparison, across the 18-kernel suite. Paper: SRT degrades 32% on
+// average; per-thread store queues reduce it to 30%.
+func Fig6(p Params) (*stats.Table, map[string]float64, error) {
+	cache := newBaseCache(p)
+	t := &stats.Table{
+		Title:   "Figure 6: SMT-Efficiency, one logical thread (paper: SRT avg 0.68, SRT+ptSQ avg 0.70)",
+		Columns: []string{"program", "Base2", "SRT", "SRT+ptSQ", "SRT+noSC"},
+	}
+	configs := []struct {
+		name string
+		spec sim.Spec
+	}{
+		{"Base2", sim.Spec{Mode: sim.ModeBase2}},
+		{"SRT", sim.Spec{Mode: sim.ModeSRT, PSR: true}},
+		{"SRT+ptSQ", sim.Spec{Mode: sim.ModeSRT, PSR: true, PerThreadSQ: true}},
+		{"SRT+noSC", sim.Spec{Mode: sim.ModeSRT, PSR: true, NoStoreComparison: true}},
+	}
+	sums := map[string][]float64{}
+	for _, name := range program.Names() {
+		row := []string{name}
+		for _, c := range configs {
+			spec := c.spec
+			spec.Programs = []string{name}
+			effs, _, _, err := run(p, spec, cache)
+			if err != nil {
+				return nil, nil, err
+			}
+			e := meanEff(effs)
+			sums[c.name] = append(sums[c.name], e)
+			row = append(row, fmt.Sprintf("%.3f", e))
+		}
+		t.AddRow(row...)
+	}
+	summary := map[string]float64{}
+	mrow := []string{"MEAN"}
+	for _, c := range configs {
+		mean := stats.ArithMean(sums[c.name])
+		summary[c.name] = mean
+		mrow = append(mrow, fmt.Sprintf("%.3f", mean))
+	}
+	t.AddRow(mrow...)
+	return t, summary, nil
+}
+
+// Fig7 reproduces Figure 7: the fraction of corresponding instruction pairs
+// sharing an issue-queue half / functional unit, with and without
+// preferential space redundancy. Paper: 65% same functional unit without
+// PSR, 0.06% with, at no performance cost.
+func Fig7(p Params) (*stats.Table, map[string]float64, error) {
+	cache := newBaseCache(p)
+	t := &stats.Table{
+		Title:   "Figure 7: space redundancy (paper: same-FU 65% -> 0.06%, no slowdown)",
+		Columns: []string{"program", "sameHalf noPSR", "sameFU noPSR", "sameHalf PSR", "sameFU PSR", "eff noPSR", "eff PSR"},
+	}
+	var aggHalfOff, aggFUOff, aggHalfOn, aggFUOn, effOff, effOn []float64
+	for _, name := range program.Names() {
+		var cells []string
+		cells = append(cells, name)
+		var halves, fus, effs [2]float64
+		for i, psr := range []bool{false, true} {
+			spec := sim.Spec{Mode: sim.ModeSRT, PSR: psr, Programs: []string{name}}
+			eff, _, m, err := run(p, spec, cache)
+			if err != nil {
+				return nil, nil, err
+			}
+			pair := m.Pairs[0]
+			halves[i] = pair.SameHalfFrac()
+			fus[i] = pair.SameFUFrac()
+			effs[i] = meanEff(eff)
+		}
+		aggHalfOff = append(aggHalfOff, halves[0])
+		aggFUOff = append(aggFUOff, fus[0])
+		aggHalfOn = append(aggHalfOn, halves[1])
+		aggFUOn = append(aggFUOn, fus[1])
+		effOff = append(effOff, effs[0])
+		effOn = append(effOn, effs[1])
+		cells = append(cells,
+			fmt.Sprintf("%.3f", halves[0]), fmt.Sprintf("%.3f", fus[0]),
+			fmt.Sprintf("%.4f", halves[1]), fmt.Sprintf("%.4f", fus[1]),
+			fmt.Sprintf("%.3f", effs[0]), fmt.Sprintf("%.3f", effs[1]))
+		t.AddRow(cells...)
+	}
+	summary := map[string]float64{
+		"sameHalf.noPSR": stats.ArithMean(aggHalfOff),
+		"sameFU.noPSR":   stats.ArithMean(aggFUOff),
+		"sameHalf.PSR":   stats.ArithMean(aggHalfOn),
+		"sameFU.PSR":     stats.ArithMean(aggFUOn),
+		"eff.noPSR":      stats.ArithMean(effOff),
+		"eff.PSR":        stats.ArithMean(effOn),
+	}
+	t.AddRow("MEAN",
+		fmt.Sprintf("%.3f", summary["sameHalf.noPSR"]), fmt.Sprintf("%.3f", summary["sameFU.noPSR"]),
+		fmt.Sprintf("%.4f", summary["sameHalf.PSR"]), fmt.Sprintf("%.4f", summary["sameFU.PSR"]),
+		fmt.Sprintf("%.3f", summary["eff.noPSR"]), fmt.Sprintf("%.3f", summary["eff.PSR"]))
+	return t, summary, nil
+}
+
+// Fig8 reproduces the two-logical-thread SRT experiment (four hardware
+// contexts). Paper: ~40% degradation, ~32% with per-thread store queues.
+func Fig8(p Params) (*stats.Table, map[string]float64, error) {
+	cache := newBaseCache(p)
+	t := &stats.Table{
+		Title:   "Figure 8: SMT-Efficiency, two logical threads under SRT (paper: avg 0.60, ptSQ 0.68)",
+		Columns: []string{"pair", "Base(2 threads)", "SRT", "SRT+ptSQ"},
+	}
+	var b, s, sp []float64
+	for _, pr := range program.MultiprogramPairs() {
+		progs := []string{pr[0], pr[1]}
+		label := pr[0] + "+" + pr[1]
+		be, _, _, err := run(p, sim.Spec{Mode: sim.ModeBase, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		se, _, _, err := run(p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		pe, _, _, err := run(p, sim.Spec{Mode: sim.ModeSRT, PSR: true, PerThreadSQ: true, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		b = append(b, meanEff(be))
+		s = append(s, meanEff(se))
+		sp = append(sp, meanEff(pe))
+		t.AddRowf(label, meanEff(be), meanEff(se), meanEff(pe))
+	}
+	summary := map[string]float64{
+		"base2t": stats.ArithMean(b),
+		"srt":    stats.ArithMean(s),
+		"ptsq":   stats.ArithMean(sp),
+	}
+	t.AddRowf("MEAN", summary["base2t"], summary["srt"], summary["ptsq"])
+	return t, summary, nil
+}
+
+// Fig9 reproduces the store-queue pressure analysis: average leading-store
+// store-queue lifetime versus the base machine (paper: +39 cycles), and
+// SMT-Efficiency across store-queue sizes.
+func Fig9(p Params) (*stats.Table, map[string]float64, error) {
+	cache := newBaseCache(p)
+	t := &stats.Table{
+		Title:   "Figure 9: store-queue lifetime and size sensitivity (paper: SRT adds ~39 cycles)",
+		Columns: []string{"program", "base life", "SRT life", "delta", "eff SQ=32", "eff SQ=48", "eff SQ=64", "eff ptSQ"},
+	}
+	var deltas []float64
+	effSums := map[int][]float64{32: nil, 48: nil, 64: nil, -1: nil}
+	for _, name := range program.Names() {
+		progs := []string{name}
+		// Lifetimes.
+		_, brs, bm, err := run(p, sim.Spec{Mode: sim.ModeBase, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, srs, sm, err := run(p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		_ = brs
+		_ = srs
+		baseLife := bm.Leads[0].Stats.StoreLifetime.Value()
+		srtLife := sm.Leads[0].Stats.StoreLifetime.Value()
+		delta := srtLife - baseLife
+		deltas = append(deltas, delta)
+
+		cells := []string{name, fmt.Sprintf("%.1f", baseLife), fmt.Sprintf("%.1f", srtLife), fmt.Sprintf("%+.1f", delta)}
+		for _, sq := range []int{32, 48, 64} {
+			cfg := p.Config
+			cfg.SQCap = sq * 2 // statically divided between the two contexts
+			pp := p
+			pp.Config = cfg
+			// The base reference must stay the standard machine.
+			eff, _, _, err := run(pp, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}, cache)
+			if err != nil {
+				return nil, nil, err
+			}
+			effSums[sq] = append(effSums[sq], meanEff(eff))
+			cells = append(cells, fmt.Sprintf("%.3f", meanEff(eff)))
+		}
+		eff, _, _, err := run(p, sim.Spec{Mode: sim.ModeSRT, PSR: true, PerThreadSQ: true, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		effSums[-1] = append(effSums[-1], meanEff(eff))
+		cells = append(cells, fmt.Sprintf("%.3f", meanEff(eff)))
+		t.AddRow(cells...)
+	}
+	summary := map[string]float64{
+		"lifetime.delta": stats.ArithMean(deltas),
+		"eff.sq32":       stats.ArithMean(effSums[32]),
+		"eff.sq48":       stats.ArithMean(effSums[48]),
+		"eff.sq64":       stats.ArithMean(effSums[64]),
+		"eff.ptsq":       stats.ArithMean(effSums[-1]),
+	}
+	t.AddRow("MEAN", "", "", fmt.Sprintf("%+.1f", summary["lifetime.delta"]),
+		fmt.Sprintf("%.3f", summary["eff.sq32"]), fmt.Sprintf("%.3f", summary["eff.sq48"]),
+		fmt.Sprintf("%.3f", summary["eff.sq64"]), fmt.Sprintf("%.3f", summary["eff.ptsq"]))
+	return t, summary, nil
+}
+
+// lockCRTTable runs Lock0/Lock8/CRT/CRT+ptSQ over workload groups.
+func lockCRTTable(p Params, title string, groups [][]string) (*stats.Table, map[string]float64, error) {
+	cache := newBaseCache(p)
+	t := &stats.Table{
+		Title:   title,
+		Columns: []string{"workload", "Lock0", "Lock8", "CRT", "CRT+ptSQ"},
+	}
+	var l0s, l8s, cs, cps []float64
+	for _, progs := range groups {
+		label := ""
+		for i, n := range progs {
+			if i > 0 {
+				label += "+"
+			}
+			label += n
+		}
+		l0, _, _, err := run(p, sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 0, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		l8, _, _, err := run(p, sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 8, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, _, _, err := run(p, sim.Spec{Mode: sim.ModeCRT, PSR: true, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		cp, _, _, err := run(p, sim.Spec{Mode: sim.ModeCRT, PSR: true, PerThreadSQ: true, Programs: progs}, cache)
+		if err != nil {
+			return nil, nil, err
+		}
+		l0s = append(l0s, meanEff(l0))
+		l8s = append(l8s, meanEff(l8))
+		cs = append(cs, meanEff(c))
+		cps = append(cps, meanEff(cp))
+		t.AddRowf(label, meanEff(l0), meanEff(l8), meanEff(c), meanEff(cp))
+	}
+	summary := map[string]float64{
+		"lock0":    stats.ArithMean(l0s),
+		"lock8":    stats.ArithMean(l8s),
+		"crt":      stats.ArithMean(cs),
+		"crt+ptsq": stats.ArithMean(cps),
+	}
+	t.AddRowf("MEAN", summary["lock0"], summary["lock8"], summary["crt"], summary["crt+ptsq"])
+	return t, summary, nil
+}
+
+// Fig10 compares lockstepping and CRT for single-program workloads. Paper:
+// CRT performs similarly to lockstepping on one logical thread.
+func Fig10(p Params) (*stats.Table, map[string]float64, error) {
+	var groups [][]string
+	for _, n := range program.Names() {
+		groups = append(groups, []string{n})
+	}
+	return lockCRTTable(p, "Figure 10: lockstep vs CRT, one logical thread (paper: similar)", groups)
+}
+
+// Fig11 compares lockstepping and CRT on the six two-program pairs. Paper:
+// CRT outperforms lockstepping by 13% on average (max 22%).
+func Fig11(p Params) (*stats.Table, map[string]float64, error) {
+	var groups [][]string
+	for _, pr := range program.MultiprogramPairs() {
+		groups = append(groups, []string{pr[0], pr[1]})
+	}
+	return lockCRTTable(p, "Figure 11: lockstep vs CRT, two logical threads (paper: CRT +13% avg, +22% max)", groups)
+}
+
+// Fig12 compares lockstepping and CRT on the four-program combinations.
+func Fig12(p Params) (*stats.Table, map[string]float64, error) {
+	var groups [][]string
+	for _, c := range program.FourProgramCombos() {
+		groups = append(groups, []string{c[0], c[1], c[2], c[3]})
+	}
+	return lockCRTTable(p, "Figure 12: lockstep vs CRT, four logical threads", groups)
+}
+
+// Coverage runs transient fault-injection campaigns on SRT and CRT and
+// reports detection coverage plus the permanent-fault space-redundancy
+// measurements (no unmasked fault may escape output comparison).
+func Coverage(p Params) (*stats.Table, map[string]float64, error) {
+	t := &stats.Table{
+		Title:   "Coverage: transient injection campaigns + permanent-fault space redundancy",
+		Columns: []string{"config", "runs", "detected", "masked", "not-fired", "coverage", "mean latency (cyc)"},
+	}
+	kernels := []string{"gcc", "compress", "li", "swim", "wave5", "m88ksim"}
+	summary := map[string]float64{}
+	for _, mode := range []sim.Mode{sim.ModeSRT, sim.ModeCRT} {
+		var det, msk, nf, runs int
+		var lat []float64
+		for _, k := range kernels {
+			spec := sim.Spec{
+				Mode: mode, Programs: []string{k},
+				Budget: p.Budget / 2, Warmup: p.Warmup / 2,
+				Config: p.Config, PSR: true,
+			}
+			sum, err := fault.Campaign(spec, p.CampaignRuns/len(kernels)+1, 0xABCD^uint64(len(k)))
+			if err != nil {
+				return nil, nil, err
+			}
+			det += sum.Detected
+			msk += sum.Masked
+			nf += sum.NotFired
+			runs += sum.Runs
+			if sum.Detected > 0 {
+				lat = append(lat, sum.MeanDetectionCycles)
+			}
+		}
+		cov := float64(det) / float64(max(det+msk, 1))
+		meanLat := stats.ArithMean(lat)
+		t.AddRow(mode.String(), fmt.Sprint(runs), fmt.Sprint(det), fmt.Sprint(msk),
+			fmt.Sprint(nf), fmt.Sprintf("%.3f", cov), fmt.Sprintf("%.0f", meanLat))
+		summary["coverage."+mode.String()] = cov
+		summary["latency."+mode.String()] = meanLat
+	}
+	return t, summary, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+func quick() Params {
+	p := Quick()
+	p.Budget = 4000
+	p.Warmup = 2000
+	p.CampaignRuns = 4
+	return p
+}
+
+func TestTable1ListsEverySubsystem(t *testing.T) {
+	tbl := Table1(pipeline.DefaultConfig())
+	s := tbl.String()
+	for _, want := range []string{"IBOX", "PBOX", "QBOX", "RBOX", "MBOX",
+		"line predictor", "store sets", "store queue", "L2 cache"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+// TestFig6Shape checks the experiment's qualitative claims at small scale:
+// every configuration produces a full table and the orderings the paper
+// reports hold on average — redundancy costs something, per-thread store
+// queues and dropping store comparison both recover performance, and SRT
+// beats running two independent copies.
+func TestFig6Shape(t *testing.T) {
+	tbl, sum, err := Fig6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 19 { // 18 kernels + MEAN
+		t.Fatalf("rows = %d, want 19", len(tbl.Rows))
+	}
+	if sum["SRT"] >= 1.0 {
+		t.Errorf("SRT mean efficiency %.3f >= 1; redundancy should cost something", sum["SRT"])
+	}
+	if sum["SRT"] <= sum["Base2"] {
+		t.Errorf("SRT (%.3f) should outperform Base2 (%.3f)", sum["SRT"], sum["Base2"])
+	}
+	if sum["SRT+ptSQ"] < sum["SRT"] {
+		t.Errorf("per-thread store queues should help: %.3f < %.3f", sum["SRT+ptSQ"], sum["SRT"])
+	}
+	if sum["SRT+noSC"] < sum["SRT"] {
+		t.Errorf("removing store comparison should help: %.3f < %.3f", sum["SRT+noSC"], sum["SRT"])
+	}
+}
+
+// TestFig7Shape: without PSR most pairs share a half; with PSR almost none
+// do, and performance is unchanged.
+func TestFig7Shape(t *testing.T) {
+	_, sum, err := Fig7(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum["sameHalf.noPSR"] < 0.5 {
+		t.Errorf("same-half without PSR = %.3f; expected high (paper: 65%% same-FU)", sum["sameHalf.noPSR"])
+	}
+	if sum["sameHalf.PSR"] > 0.1 {
+		t.Errorf("same-half with PSR = %.3f; expected near zero", sum["sameHalf.PSR"])
+	}
+	if diff := sum["eff.noPSR"] - sum["eff.PSR"]; diff > 0.05 {
+		t.Errorf("PSR cost %.3f efficiency; paper reports none", diff)
+	}
+}
+
+// TestFig11Shape: CRT must beat the realistic lockstep machine on
+// multiprogrammed workloads.
+func TestFig11Shape(t *testing.T) {
+	_, sum, err := Fig11(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum["crt"] <= sum["lock8"] {
+		t.Errorf("CRT (%.3f) should outperform Lock8 (%.3f) on two-program workloads",
+			sum["crt"], sum["lock8"])
+	}
+	if sum["lock8"] > sum["lock0"] {
+		t.Errorf("Lock8 (%.3f) cannot beat the ideal checker Lock0 (%.3f)",
+			sum["lock8"], sum["lock0"])
+	}
+}
+
+// TestCoverageShape: campaigns classify every trial and detect real faults.
+func TestCoverageShape(t *testing.T) {
+	_, sum, err := Coverage(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"srt", "crt"} {
+		if sum["coverage."+mode] <= 0 {
+			t.Errorf("%s coverage = %.3f; campaigns detected nothing", mode, sum["coverage."+mode])
+		}
+	}
+}

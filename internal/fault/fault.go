@@ -1,0 +1,276 @@
+// Package fault provides the fault models and injection campaigns used to
+// demonstrate RMT's detection capability: single-bit transient flips
+// injected into one copy of a redundant pair (a cosmic-ray strike on a
+// latch), and the permanent-fault coverage analysis behind preferential
+// space redundancy.
+//
+// A transient fault is injected into the functional execution of exactly one
+// hardware thread, so the corrupted value propagates through that copy's
+// architectural state exactly as a real strike would: it may be masked
+// (overwritten before use), or reach the sphere-of-replication boundary
+// where the store comparator / load value queue / line prediction stream
+// flags the divergence.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Copy selects which copy of the redundant pair a fault strikes.
+type Copy int
+
+// Fault targets.
+const (
+	// LeadingCopy strikes the leading thread.
+	LeadingCopy Copy = iota
+	// TrailingCopy strikes the trailing thread.
+	TrailingCopy
+)
+
+func (c Copy) String() string {
+	if c == TrailingCopy {
+		return "trailing"
+	}
+	return "leading"
+}
+
+// Transient is a single-bit transient fault: at the victim copy's AtSeq-th
+// dynamically executed instruction, flip bit Bit of the value at Point.
+type Transient struct {
+	// Logical selects which redundant pair (program) to strike.
+	Logical int
+	// Target selects the leading or trailing copy.
+	Target Copy
+	// AtSeq is the victim's dynamic instruction number.
+	AtSeq uint64
+	// Point is the dataflow location to corrupt.
+	Point vm.CorruptPoint
+	// Bit is the bit to flip (0..63).
+	Bit uint
+}
+
+func (t Transient) String() string {
+	return fmt.Sprintf("transient{pair %d %s seq %d point %d bit %d}",
+		t.Logical, t.Target, t.AtSeq, t.Point, t.Bit)
+}
+
+// Arm attaches the fault to a built machine. The returned function reports
+// whether the fault has fired (some dynamic paths never reach AtSeq with a
+// matching corruption point).
+func (t Transient) Arm(m *sim.Machine) (fired func() bool, err error) {
+	if t.Logical < 0 || t.Logical >= len(m.Leads) {
+		return nil, fmt.Errorf("fault: no logical thread %d", t.Logical)
+	}
+	ctx := m.Leads[t.Logical]
+	if t.Target == TrailingCopy {
+		ctx = m.Trails[t.Logical]
+	}
+	if ctx == nil {
+		return nil, fmt.Errorf("fault: machine has no %v copy for logical thread %d (mode %v)",
+			t.Target, t.Logical, m.Spec.Mode)
+	}
+	didFire := false
+	prev := ctx.Arch.Corrupt
+	ctx.Arch.Corrupt = func(point vm.CorruptPoint, seq, pc, v uint64) uint64 {
+		if prev != nil {
+			v = prev(point, seq, pc, v)
+		}
+		if !didFire && seq >= t.AtSeq && point == t.Point {
+			didFire = true
+			return v ^ (1 << (t.Bit & 63))
+		}
+		return v
+	}
+	return func() bool { return didFire }, nil
+}
+
+// Outcome classifies one injection run.
+type Outcome int
+
+// Injection outcomes.
+const (
+	// Detected: the machine flagged a mismatch at the sphere boundary.
+	Detected Outcome = iota
+	// Masked: the corrupted value never reached an output — architecturally
+	// benign (dead value, overwritten register, idempotent store).
+	Masked
+	// NotFired: the run ended before the injection point was reached.
+	NotFired
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Detected:
+		return "detected"
+	case Masked:
+		return "masked"
+	case NotFired:
+		return "not-fired"
+	}
+	return "outcome?"
+}
+
+// Result is one injection's classification.
+type Result struct {
+	Fault   Transient
+	Outcome Outcome
+	// DetectionCycles is the cycle count from injection to the first
+	// recorded mismatch (Detected only).
+	DetectionCycles uint64
+}
+
+// CampaignSummary aggregates a campaign.
+type CampaignSummary struct {
+	Runs     int
+	Detected int
+	Masked   int
+	NotFired int
+	// MeanDetectionCycles averages detection latency over detected runs.
+	MeanDetectionCycles float64
+	Results             []Result
+}
+
+// Coverage returns detected / (detected + masked-that-mattered)… for RMT the
+// meaningful ratio is detected / fired-and-unmasked; since every unmasked
+// fault is detected at the output boundary, we report detected/fired.
+func (s *CampaignSummary) Coverage() float64 {
+	fired := s.Detected + s.Masked
+	if fired == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(fired)
+}
+
+// rng is a small deterministic xorshift generator so campaigns are exactly
+// reproducible.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+// Campaign runs n injection trials against the configuration described by
+// spec (which must be an RMT mode: SRT or CRT). Each trial builds a fresh
+// machine, injects one transient at a pseudo-random point after warmup, and
+// classifies the outcome.
+func Campaign(spec sim.Spec, n int, seed uint64) (*CampaignSummary, error) {
+	if spec.Mode != sim.ModeSRT && spec.Mode != sim.ModeCRT {
+		return nil, fmt.Errorf("fault: campaign requires an RMT mode, got %v", spec.Mode)
+	}
+	spec.StopOnDetection = true
+	r := rng(seed | 1)
+	sum := &CampaignSummary{}
+	points := []vm.CorruptPoint{vm.PointResult, vm.PointStoreData, vm.PointLoadValue, vm.PointStoreAddr}
+	var totalLatency uint64
+	for i := 0; i < n; i++ {
+		f := Transient{
+			Logical: int(r.next()) % max(len(spec.Programs), 1),
+			Target:  Copy(r.next() % 2),
+			AtSeq:   spec.Warmup/2 + r.next()%(spec.Warmup/2+spec.Budget/2+1),
+			Point:   points[r.next()%uint64(len(points))],
+			Bit:     uint(r.next() % 64),
+		}
+		res, err := RunOne(spec, f)
+		if err != nil {
+			return nil, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
+		}
+		sum.Runs++
+		sum.Results = append(sum.Results, res)
+		switch res.Outcome {
+		case Detected:
+			sum.Detected++
+			totalLatency += res.DetectionCycles
+		case Masked:
+			sum.Masked++
+		case NotFired:
+			sum.NotFired++
+		}
+	}
+	if sum.Detected > 0 {
+		sum.MeanDetectionCycles = float64(totalLatency) / float64(sum.Detected)
+	}
+	return sum, nil
+}
+
+// RunOne builds a machine for spec, injects the single fault, runs to
+// detection or completion, and classifies the outcome.
+func RunOne(spec sim.Spec, f Transient) (Result, error) {
+	spec.StopOnDetection = true
+	m, err := sim.Build(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	fired, err := f.Arm(m)
+	if err != nil {
+		return Result{}, err
+	}
+	// A corrupted jump target may leave the code image; let the victim
+	// pair's oracles halt gracefully so the divergence is flagged rather
+	// than crashing the simulation.
+	m.Leads[f.Logical].Arch.Tolerant = true
+	if tr := m.Trails[f.Logical]; tr != nil {
+		tr.Arch.Tolerant = true
+	}
+	// Record the cycle at which the fault fires by sampling around the arm
+	// closure: wrap again to capture the cycle.
+	var fireCycle uint64
+	ctx := m.Leads[f.Logical]
+	if f.Target == TrailingCopy {
+		ctx = m.Trails[f.Logical]
+	}
+	inner := ctx.Arch.Corrupt
+	armed := false
+	ctx.Arch.Corrupt = func(point vm.CorruptPoint, seq, pc, v uint64) uint64 {
+		nv := inner(point, seq, pc, v)
+		if !armed && nv != v {
+			armed = true
+			fireCycle = m.Cores[0].Cycle()
+		}
+		return nv
+	}
+	if _, err := m.Run(); err != nil {
+		// A deadlock after divergence can only follow an unrecorded
+		// divergence; treat any watchdog error with detections as
+		// detected, otherwise propagate.
+		if len(m.Detections()) == 0 {
+			return Result{}, err
+		}
+	}
+	// A corrupted jump that leaves the code image halts one copy; the two
+	// copies' halt states diverging is an observable failure (the trailing
+	// store stream stops matching / the checker watchdog fires), so it
+	// counts as detected.
+	haltDivergence := false
+	if tr := m.Trails[f.Logical]; tr != nil {
+		haltDivergence = m.Leads[f.Logical].Arch.Halted != tr.Arch.Halted
+	}
+	res := Result{Fault: f}
+	switch {
+	case len(m.Detections()) > 0 || haltDivergence:
+		res.Outcome = Detected
+		end := m.Cores[0].Cycle()
+		if end > fireCycle {
+			res.DetectionCycles = end - fireCycle
+		}
+	case !fired():
+		res.Outcome = NotFired
+	default:
+		res.Outcome = Masked
+	}
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

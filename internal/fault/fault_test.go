@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func faultSpec(mode sim.Mode, progs ...string) sim.Spec {
+	return sim.Spec{
+		Mode:     mode,
+		Programs: progs,
+		Budget:   8000,
+		Warmup:   2000,
+		Config:   pipeline.DefaultConfig(),
+		PSR:      true,
+	}
+}
+
+// TestStoreDataFaultDetected injects a flip directly into a store's data:
+// the comparator must always catch it.
+func TestStoreDataFaultDetected(t *testing.T) {
+	for _, target := range []Copy{LeadingCopy, TrailingCopy} {
+		res, err := RunOne(faultSpec(sim.ModeSRT, "compress"), Transient{
+			Target: target,
+			AtSeq:  3000,
+			Point:  vm.PointStoreData,
+			Bit:    5,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", target, err)
+		}
+		if res.Outcome != Detected {
+			t.Errorf("%v copy store-data fault: outcome %v, want detected", target, res.Outcome)
+		}
+		if res.DetectionCycles == 0 {
+			t.Errorf("%v copy: zero detection latency", target)
+		}
+	}
+}
+
+// TestStoreAddrFaultDetected flips a store address bit.
+func TestStoreAddrFaultDetected(t *testing.T) {
+	res, err := RunOne(faultSpec(sim.ModeSRT, "vortex"), Transient{
+		Target: LeadingCopy,
+		AtSeq:  3000,
+		Point:  vm.PointStoreAddr,
+		Bit:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Detected {
+		t.Errorf("store-addr fault: outcome %v, want detected", res.Outcome)
+	}
+}
+
+// TestLoadValueFaultPropagates corrupts a loaded value; the corruption flows
+// through dependent computation into stores.
+func TestLoadValueFaultPropagates(t *testing.T) {
+	res, err := RunOne(faultSpec(sim.ModeSRT, "li"), Transient{
+		Target: LeadingCopy,
+		AtSeq:  3000,
+		Point:  vm.PointLoadValue,
+		Bit:    0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Detected {
+		t.Errorf("load-value fault: outcome %v, want detected", res.Outcome)
+	}
+}
+
+// TestHighBitResultFaultMayBeMasked: flipping a high bit of a result that is
+// masked off (kernels AND down to small ranges) is often architecturally
+// benign; the run must complete cleanly either way, never escape silently
+// into a wrong store.
+func TestResultFaultDetectedOrMasked(t *testing.T) {
+	res, err := RunOne(faultSpec(sim.ModeSRT, "gcc"), Transient{
+		Target: TrailingCopy,
+		AtSeq:  2500,
+		Point:  vm.PointResult,
+		Bit:    62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == NotFired {
+		t.Fatal("fault never fired")
+	}
+}
+
+// TestCRTDetectsFaults runs an injection on the cross-core organisation.
+func TestCRTDetectsFaults(t *testing.T) {
+	res, err := RunOne(faultSpec(sim.ModeCRT, "compress"), Transient{
+		Target: LeadingCopy,
+		AtSeq:  3000,
+		Point:  vm.PointStoreData,
+		Bit:    17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Detected {
+		t.Errorf("CRT store-data fault: outcome %v, want detected", res.Outcome)
+	}
+}
+
+// TestCampaignNoEscapes runs a small campaign: every fired fault must be
+// detected or masked — never a silent escape (an SRT machine compares every
+// store).
+func TestCampaignNoEscapes(t *testing.T) {
+	sum, err := Campaign(faultSpec(sim.ModeSRT, "compress"), 20, 0xfeedface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 20 {
+		t.Fatalf("runs = %d", sum.Runs)
+	}
+	if sum.Detected+sum.Masked+sum.NotFired != sum.Runs {
+		t.Fatalf("classification doesn't partition: %+v", sum)
+	}
+	if sum.Detected == 0 {
+		t.Error("campaign detected nothing; injection is broken")
+	}
+	if cov := sum.Coverage(); cov < 0.4 {
+		t.Errorf("coverage %.2f implausibly low for output comparison", cov)
+	}
+}
+
+// TestCampaignDeterministic: identical seeds give identical results.
+func TestCampaignDeterministic(t *testing.T) {
+	a, err := Campaign(faultSpec(sim.ModeSRT, "go"), 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campaign(faultSpec(sim.ModeSRT, "go"), 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("trial %d differs: %+v vs %+v", i, a.Results[i], b.Results[i])
+		}
+	}
+}
+
+// TestFaultFreeRunHasNoDetections guards against false positives.
+func TestFaultFreeRunHasNoDetections(t *testing.T) {
+	m, err := sim.Build(faultSpec(sim.ModeSRT, "wave5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(m.Detections()); n != 0 {
+		t.Fatalf("fault-free run produced %d detections", n)
+	}
+}
+
+// TestCampaignRejectsNonRMTModes: injection needs a comparator.
+func TestCampaignRejectsNonRMTModes(t *testing.T) {
+	if _, err := Campaign(faultSpec(sim.ModeBase, "gcc"), 1, 1); err == nil {
+		t.Error("campaign on base mode should error")
+	}
+}

@@ -1,0 +1,116 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBackwardBranch(t *testing.T) {
+	b := NewBuilder("t")
+	b.Ldi(R1, 3)
+	b.Label("top")
+	b.Addi(R1, R1, -1)
+	b.Bne(R1, "top")
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bne at pc=2 targeting pc=1 -> imm = 1 - 2 - 1 = -2.
+	if p.Code[2].Imm != -2 {
+		t.Errorf("backward branch imm = %d, want -2", p.Code[2].Imm)
+	}
+	if p.Code[2].BranchTarget(2) != 1 {
+		t.Errorf("target = %d, want 1", p.Code[2].BranchTarget(2))
+	}
+}
+
+func TestBuilderForwardBranch(t *testing.T) {
+	b := NewBuilder("t")
+	b.Beq(R1, "done") // pc 0
+	b.Nop()           // pc 1
+	b.Nop()           // pc 2
+	b.Label("done")
+	b.Halt() // pc 3
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Code[0].BranchTarget(0); got != 3 {
+		t.Errorf("forward target = %d, want 3", got)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Br("nowhere")
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestBuilderJsrAndRet(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jsr(R26, "fn") // pc 0
+	b.Halt()         // pc 1
+	b.Label("fn")
+	b.Ret(R26) // pc 2
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Code[0].BranchTarget(0); got != 2 {
+		t.Errorf("jsr target = %d, want 2", got)
+	}
+	if p.Code[2].Op != JMP || p.Code[2].Ra != R26 || p.Code[2].Rd != R31 {
+		t.Errorf("ret encoded as %v", p.Code[2])
+	}
+}
+
+func TestBuilderInitData64(t *testing.T) {
+	b := NewBuilder("t")
+	b.Halt()
+	b.InitData64(0x1000, 0x1122334455667788, 42)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Data[0x1000]
+	if len(d) != 16 {
+		t.Fatalf("data len = %d, want 16", len(d))
+	}
+	if d[0] != 0x88 || d[7] != 0x11 {
+		t.Errorf("little-endian layout wrong: % x", d[:8])
+	}
+	if d[8] != 42 {
+		t.Errorf("second word low byte = %d, want 42", d[8])
+	}
+	if p.DataFootprint() != 16 {
+		t.Errorf("footprint = %d, want 16", p.DataFootprint())
+	}
+}
+
+func TestValidateCatchesWildBranch(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Instr{{Op: BR, Imm: 100}}}
+	if err := p.Validate(); err == nil {
+		t.Error("expected out-of-range branch error")
+	}
+}
+
+func TestValidateCatchesBadEntry(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Instr{{Op: HALT}}, Entry: 5}
+	if err := p.Validate(); err == nil {
+		t.Error("expected bad entry error")
+	}
+}

@@ -1,0 +1,511 @@
+// Package isa defines the instruction set architecture executed by the
+// simulator: a small, deterministic, Alpha-flavoured 64-bit RISC ISA with 32
+// integer and 32 floating-point registers per thread (the 64 architectural
+// registers per thread of the paper's Table 1).
+//
+// The ISA is intentionally simple — word-addressed instruction memory,
+// byte-addressed data memory, register-register ALU ops, displacement
+// addressing, PC-relative branches — but it is a real ISA: every instruction
+// has full functional semantics (package vm), a binary encoding, an
+// assembler (Builder) and a disassembler. All workloads in internal/program
+// are written against it, and redundant-thread output comparison operates on
+// the values it produces.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Integer registers are R0..R31 and
+// floating-point registers are F0..F31. R31 and F31 always read as zero and
+// ignore writes, following the Alpha convention.
+type Reg uint8
+
+// Integer register names.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31 // hardwired zero
+)
+
+// Floating-point register names. They share the Reg namespace with integer
+// registers; FP opcodes interpret their operands as F-registers.
+const (
+	F0 Reg = iota
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+	F16
+	F17
+	F18
+	F19
+	F20
+	F21
+	F22
+	F23
+	F24
+	F25
+	F26
+	F27
+	F28
+	F29
+	F30
+	F31 // hardwired zero
+)
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// ZeroReg is the hardwired-zero register index in both files.
+	ZeroReg = 31
+)
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The groups matter to the timing model: the pipeline maps
+// each group onto a functional-unit class and latency.
+const (
+	NOP Op = iota
+
+	// Integer register-register ALU.
+	ADD
+	SUB
+	MUL
+	DIV
+	MOD
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	CMPEQ
+	CMPLT
+	CMPLE
+	CMPULT
+
+	// Integer register-immediate ALU.
+	ADDI
+	MULI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	CMPEQI
+	CMPLTI
+	LDI // rd = imm (sign-extended 32-bit)
+
+	// Memory. Addresses are Ra + Imm.
+	LDQ // rd = mem64[ra+imm]
+	STQ // mem64[ra+imm] = rd
+	LDB // rd = zext(mem8[ra+imm])
+	STB // mem8[ra+imm] = rd & 0xff
+
+	// Floating point. Operands are F-registers holding float64 bit
+	// patterns; compare results are written to an F-register as 0/1 so
+	// they can feed FBEQ/FBNE-style tests via FTOI.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FSQRT
+	FNEG
+	FCMPEQ
+	FCMPLT
+	FCMPLE
+	CVTQF // fd = float64(int64 ra)   (ra is an integer register)
+	CVTFQ // rd = int64(float64 fa)   (rd is an integer register)
+	ITOF  // fd = bits(ra)            (raw move int -> fp)
+	FTOI  // rd = bits(fa)            (raw move fp -> int)
+	FLDQ  // fd = mem64[ra+imm] as float bits (ra integer)
+	FSTQ  // mem64[ra+imm] = bits(fd)
+
+	// Control. Branch displacements are in instruction words relative to
+	// the next instruction: target = pc + 1 + imm.
+	BR  // unconditional PC-relative branch
+	BEQ // taken if ra == 0
+	BNE // taken if ra != 0
+	BLT // taken if int64(ra) < 0
+	BGE // taken if int64(ra) >= 0
+	BGT // taken if int64(ra) > 0
+	BLE // taken if int64(ra) <= 0
+	JSR // rd = pc + 1; pc = pc + 1 + imm (direct call)
+	JMP // rd = pc + 1; pc = ra (indirect jump / return)
+
+	// Uncached (memory-mapped I/O) accesses. Side-effecting: a device read
+	// consumes device state, so redundant threads must replicate the value
+	// rather than read twice; an uncached store is performed exactly once,
+	// after output comparison. Addresses are Ra + Imm into the I/O space.
+	LDIO // rd = io[ra+imm] (uncached, side-effecting, non-speculative)
+	STIO // io[ra+imm] = rd (uncached, performed once, non-speculative)
+
+	// Miscellaneous.
+	MB   // memory barrier: retires only after all older stores drain
+	HALT // stop the thread
+
+	numOps // sentinel
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	NOP: "nop",
+
+	ADD:    "add",
+	SUB:    "sub",
+	MUL:    "mul",
+	DIV:    "div",
+	MOD:    "mod",
+	AND:    "and",
+	OR:     "or",
+	XOR:    "xor",
+	SLL:    "sll",
+	SRL:    "srl",
+	SRA:    "sra",
+	CMPEQ:  "cmpeq",
+	CMPLT:  "cmplt",
+	CMPLE:  "cmple",
+	CMPULT: "cmpult",
+
+	ADDI:   "addi",
+	MULI:   "muli",
+	ANDI:   "andi",
+	ORI:    "ori",
+	XORI:   "xori",
+	SLLI:   "slli",
+	SRLI:   "srli",
+	SRAI:   "srai",
+	CMPEQI: "cmpeqi",
+	CMPLTI: "cmplti",
+	LDI:    "ldi",
+
+	LDQ: "ldq",
+	STQ: "stq",
+	LDB: "ldb",
+	STB: "stb",
+
+	FADD:   "fadd",
+	FSUB:   "fsub",
+	FMUL:   "fmul",
+	FDIV:   "fdiv",
+	FSQRT:  "fsqrt",
+	FNEG:   "fneg",
+	FCMPEQ: "fcmpeq",
+	FCMPLT: "fcmplt",
+	FCMPLE: "fcmple",
+	CVTQF:  "cvtqf",
+	CVTFQ:  "cvtfq",
+	ITOF:   "itof",
+	FTOI:   "ftoi",
+	FLDQ:   "fldq",
+	FSTQ:   "fstq",
+
+	BR:  "br",
+	BEQ: "beq",
+	BNE: "bne",
+	BLT: "blt",
+	BGE: "bge",
+	BGT: "bgt",
+	BLE: "ble",
+	JSR: "jsr",
+	JMP: "jmp",
+
+	LDIO: "ldio",
+	STIO: "stio",
+
+	MB:   "mb",
+	HALT: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the opcode is a defined operation.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class buckets opcodes by the pipeline resource they consume.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassLoad
+	ClassStore
+	ClassFPAdd // add/sub/compare/convert/moves
+	ClassFPMul
+	ClassFPDiv // div and sqrt
+	ClassBranch
+	ClassJump
+	ClassBarrier
+	ClassHalt
+)
+
+var opClasses = [...]Class{
+	NOP: ClassNop,
+
+	ADD: ClassIntALU, SUB: ClassIntALU, AND: ClassIntALU, OR: ClassIntALU,
+	XOR: ClassIntALU, SLL: ClassIntALU, SRL: ClassIntALU, SRA: ClassIntALU,
+	CMPEQ: ClassIntALU, CMPLT: ClassIntALU, CMPLE: ClassIntALU, CMPULT: ClassIntALU,
+	MUL: ClassIntMul, DIV: ClassIntDiv, MOD: ClassIntDiv,
+
+	ADDI: ClassIntALU, ANDI: ClassIntALU, ORI: ClassIntALU, XORI: ClassIntALU,
+	SLLI: ClassIntALU, SRLI: ClassIntALU, SRAI: ClassIntALU,
+	CMPEQI: ClassIntALU, CMPLTI: ClassIntALU, LDI: ClassIntALU,
+	MULI: ClassIntMul,
+
+	LDQ: ClassLoad, LDB: ClassLoad, FLDQ: ClassLoad,
+	STQ: ClassStore, STB: ClassStore, FSTQ: ClassStore,
+
+	FADD: ClassFPAdd, FSUB: ClassFPAdd, FNEG: ClassFPAdd,
+	FCMPEQ: ClassFPAdd, FCMPLT: ClassFPAdd, FCMPLE: ClassFPAdd,
+	CVTQF: ClassFPAdd, CVTFQ: ClassFPAdd, ITOF: ClassFPAdd, FTOI: ClassFPAdd,
+	FMUL: ClassFPMul,
+	FDIV: ClassFPDiv, FSQRT: ClassFPDiv,
+
+	BR: ClassBranch, BEQ: ClassBranch, BNE: ClassBranch, BLT: ClassBranch,
+	BGE: ClassBranch, BGT: ClassBranch, BLE: ClassBranch,
+	JSR: ClassJump, JMP: ClassJump,
+
+	LDIO: ClassLoad,
+	STIO: ClassStore,
+
+	MB:   ClassBarrier,
+	HALT: ClassHalt,
+}
+
+// ClassOf returns the resource class of an opcode.
+func ClassOf(o Op) Class {
+	if int(o) < len(opClasses) {
+		return opClasses[o]
+	}
+	return ClassNop
+}
+
+// Instr is one decoded instruction. Rd is the destination (or the store data
+// source for STQ/STB/FSTQ), Ra and Rb are sources, Imm is the immediate /
+// displacement.
+type Instr struct {
+	Op  Op
+	Rd  Reg
+	Ra  Reg
+	Rb  Reg
+	Imm int64
+}
+
+// IsBranch reports whether the instruction is any control transfer.
+func (i Instr) IsBranch() bool {
+	c := ClassOf(i.Op)
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Instr) IsCondBranch() bool {
+	switch i.Op {
+	case BEQ, BNE, BLT, BGE, BGT, BLE:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Instr) IsMem() bool {
+	c := ClassOf(i.Op)
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether the instruction is a load.
+func (i Instr) IsLoad() bool { return ClassOf(i.Op) == ClassLoad }
+
+// IsStore reports whether the instruction is a store.
+func (i Instr) IsStore() bool { return ClassOf(i.Op) == ClassStore }
+
+// MemBytes returns the access width in bytes for memory instructions, 0
+// otherwise.
+func (i Instr) MemBytes() int {
+	switch i.Op {
+	case LDQ, STQ, FLDQ, FSTQ, LDIO, STIO:
+		return 8
+	case LDB, STB:
+		return 1
+	}
+	return 0
+}
+
+// IsUncached reports whether the instruction is an uncached I/O access.
+func (i Instr) IsUncached() bool { return i.Op == LDIO || i.Op == STIO }
+
+// HasDest reports whether the instruction writes an architectural register.
+func (i Instr) HasDest() bool {
+	switch ClassOf(i.Op) {
+	case ClassStore, ClassBranch, ClassBarrier, ClassHalt, ClassNop:
+		return i.Op == JSR // JSR is ClassJump; branches never write
+	case ClassJump:
+		return true // JSR and JMP both write a link register (may be R31)
+	}
+	return true
+}
+
+// DestIsFP reports whether the destination register is in the FP file.
+func (i Instr) DestIsFP() bool {
+	switch i.Op {
+	case FADD, FSUB, FMUL, FDIV, FSQRT, FNEG, FCMPEQ, FCMPLT, FCMPLE,
+		CVTQF, ITOF, FLDQ:
+		return true
+	}
+	return false
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch ClassOf(i.Op) {
+	case ClassNop, ClassBarrier, ClassHalt:
+		return i.Op.String()
+	case ClassLoad:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Ra)
+	case ClassStore:
+		return fmt.Sprintf("%s r%d, %d(r%d)", i.Op, i.Rd, i.Imm, i.Ra)
+	case ClassBranch:
+		if i.Op == BR {
+			return fmt.Sprintf("br %+d", i.Imm)
+		}
+		return fmt.Sprintf("%s r%d, %+d", i.Op, i.Ra, i.Imm)
+	case ClassJump:
+		if i.Op == JSR {
+			return fmt.Sprintf("jsr r%d, %+d", i.Rd, i.Imm)
+		}
+		return fmt.Sprintf("jmp r%d, (r%d)", i.Rd, i.Ra)
+	}
+	switch i.Op {
+	case LDI:
+		return fmt.Sprintf("ldi r%d, %d", i.Rd, i.Imm)
+	case ADDI, MULI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, CMPEQI, CMPLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Ra, i.Rb)
+	}
+}
+
+// Encoding layout, most significant byte first:
+//
+//	bits 63..56 opcode
+//	bits 55..48 rd
+//	bits 47..40 ra
+//	bits 39..32 rb
+//	bits 31..0  imm (two's-complement 32-bit)
+//
+// Word is the fixed 64-bit binary form of an instruction.
+type Word uint64
+
+// ErrBadEncoding is returned by Decode for malformed words and by Encode for
+// out-of-range fields.
+type ErrBadEncoding struct {
+	Word   Word
+	Reason string
+}
+
+func (e *ErrBadEncoding) Error() string {
+	return fmt.Sprintf("isa: bad encoding %#016x: %s", uint64(e.Word), e.Reason)
+}
+
+// Encode packs an instruction into its binary word form. It returns an error
+// if any field is out of range.
+func Encode(i Instr) (Word, error) {
+	if !i.Op.Valid() {
+		return 0, &ErrBadEncoding{Reason: fmt.Sprintf("invalid opcode %d", i.Op)}
+	}
+	if i.Rd >= NumIntRegs || i.Ra >= NumIntRegs || i.Rb >= NumIntRegs {
+		return 0, &ErrBadEncoding{Reason: "register out of range"}
+	}
+	if i.Imm < -(1<<31) || i.Imm > (1<<31)-1 {
+		return 0, &ErrBadEncoding{Reason: fmt.Sprintf("immediate %d out of 32-bit range", i.Imm)}
+	}
+	w := uint64(i.Op)<<56 | uint64(i.Rd)<<48 | uint64(i.Ra)<<40 | uint64(i.Rb)<<32 |
+		uint64(uint32(int32(i.Imm)))
+	return Word(w), nil
+}
+
+// MustEncode is like Encode but panics on error; for use with known-good
+// instructions (e.g., from the Builder, which validates as it goes).
+func MustEncode(i Instr) Word {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a binary word into an instruction.
+func Decode(w Word) (Instr, error) {
+	i := Instr{
+		Op:  Op(w >> 56),
+		Rd:  Reg(w >> 48),
+		Ra:  Reg(w >> 40),
+		Rb:  Reg(w >> 32),
+		Imm: int64(int32(uint32(w))),
+	}
+	if !i.Op.Valid() {
+		return Instr{}, &ErrBadEncoding{Word: w, Reason: fmt.Sprintf("invalid opcode %d", uint8(w>>56))}
+	}
+	if i.Rd >= NumIntRegs || i.Ra >= NumIntRegs || i.Rb >= NumIntRegs {
+		return Instr{}, &ErrBadEncoding{Word: w, Reason: "register out of range"}
+	}
+	return i, nil
+}
+
+// BranchTarget computes the target PC of a direct control transfer located
+// at pc. It is meaningful only for BR, conditional branches and JSR.
+func (i Instr) BranchTarget(pc uint64) uint64 {
+	return uint64(int64(pc) + 1 + i.Imm)
+}

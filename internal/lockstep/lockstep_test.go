@@ -1,0 +1,130 @@
+package lockstep
+
+import (
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func cfg(checker uint64) Config {
+	return Config{
+		Pipeline:       pipeline.DefaultConfig(),
+		CheckerLatency: checker,
+		Budget:         8000,
+		Warmup:         4000,
+	}
+}
+
+// TestFaultFreeCoresStayInLockstep: the fundamental lockstep property —
+// identical cores, identical inputs, identical outputs, checker silent.
+func TestFaultFreeCoresStayInLockstep(t *testing.T) {
+	m, err := New(cfg(8), []string{"compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(2_000_000, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Checker.Comparisons.Value() == 0 {
+		t.Fatal("checker compared nothing")
+	}
+	a, b := m.Checker.Backlog()
+	if a != b {
+		t.Errorf("asymmetric backlog %d vs %d at end of fault-free run", a, b)
+	}
+}
+
+// TestDualMatchesSingle validates the single-core equivalence that
+// internal/sim's performance experiments rely on: the dual-core machine's
+// per-program IPC must equal the single-core model's, exactly.
+func TestDualMatchesSingle(t *testing.T) {
+	for _, checker := range []uint64{0, 8} {
+		dual, err := New(cfg(checker), []string{"gcc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drs, err := dual.Run(2_000_000, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		single, err := sim.Build(sim.Spec{
+			Mode:           sim.ModeLockstep,
+			Programs:       []string{"gcc"},
+			Budget:         8000,
+			Warmup:         4000,
+			CheckerLatency: checker,
+			Config:         pipeline.DefaultConfig(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srs, err := single.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drs.LogicalIPC[0] != srs.LogicalIPC[0] {
+			t.Errorf("checker=%d: dual-core IPC %.6f != single-core model IPC %.6f",
+				checker, drs.LogicalIPC[0], srs.LogicalIPC[0])
+		}
+	}
+}
+
+// TestCheckerDetectsDataFault: flip a store-data bit in ONE core; the
+// central checker must flag the very first divergent store.
+func TestCheckerDetectsDataFault(t *testing.T) {
+	for core := 0; core < 2; core++ {
+		m, err := New(cfg(8), []string{"compress"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.InjectFault(core, 0, 6000, vm.PointStoreData, 9)
+		if _, err := m.Run(2_000_000, true); err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Checker.Detected) == 0 {
+			t.Errorf("core %d store-data fault not detected", core)
+		}
+	}
+}
+
+// TestCheckerDetectsControlFlowFault: corrupt a loaded value that steers
+// control flow; the cores' store streams then disagree in content or
+// length, and the checker flags it either way.
+func TestCheckerDetectsControlFlowFault(t *testing.T) {
+	m, err := New(cfg(8), []string{"gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InjectFault(1, 0, 6000, vm.PointLoadValue, 1)
+	if _, err := m.Run(2_000_000, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Checker.Detected) == 0 {
+		t.Error("control-flow fault not detected by the checker")
+	}
+}
+
+// TestLock8SlowerThanLock0: the realistic checker costs cycles on the
+// cache-miss path.
+func TestLock8SlowerThanLock0(t *testing.T) {
+	run := func(c uint64) uint64 {
+		m, err := New(cfg(c), []string{"vortex"}) // miss-heavy
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(4_000_000, false); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles
+	}
+	l0, l8 := run(0), run(8)
+	if l8 <= l0 {
+		t.Errorf("Lock8 (%d cycles) not slower than Lock0 (%d)", l8, l0)
+	}
+}

@@ -1,0 +1,323 @@
+// Package mem models the memory hierarchy outside the sphere of
+// replication: L1 instruction and data caches (64 KB, 2-way, 64-byte blocks,
+// with way prediction), a unified 3 MB 8-way L2, and a flat Rambus-like
+// memory behind it, following the paper's Table 1.
+//
+// Timing is expressed as absolute completion cycles: Access(addr, now)
+// returns the cycle at which the data is available. Fills are tracked
+// per-line ("readyAt"), so overlapping accesses to an in-flight block
+// combine instead of paying the miss twice (MSHR-style behaviour), and
+// independent misses overlap freely — the pipeline provides the limit on
+// outstanding accesses.
+//
+// For lockstepped operation the checker interposes on every off-core signal;
+// MissExtra models that per-miss checker penalty (8 cycles for the paper's
+// realistic Lock8 configuration).
+package mem
+
+import "repro/internal/stats"
+
+// Level is anything that can service a block fetch: a next-level cache or
+// memory.
+type Level interface {
+	// Access requests the block containing addr at cycle now and returns
+	// the cycle the block is available.
+	Access(addr uint64, now uint64) uint64
+}
+
+// FlatMemory is the bottom of the hierarchy: fixed-latency DRAM.
+type FlatMemory struct {
+	// Latency is the access latency in cycles.
+	Latency uint64
+	// Accesses counts block requests.
+	Accesses stats.Counter
+}
+
+// Access implements Level.
+func (m *FlatMemory) Access(addr uint64, now uint64) uint64 {
+	m.Accesses.Inc()
+	return now + m.Latency
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	readyAt uint64 // cycle at which an in-flight fill completes
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	name      string
+	nsets     uint64
+	blockBits uint
+	ways      int
+	hitLat    uint64
+	// MissExtra is added to every miss's fill time (lockstep checker
+	// interposition penalty; 0 in all non-lockstepped configurations).
+	MissExtra uint64
+
+	next Level
+
+	sets [][]line // sets[set][way], way 0 = MRU
+	// predictedWay implements way prediction: a hit in a non-predicted way
+	// costs one extra cycle and retrains the predictor.
+	predictedWay []int
+	wayPredict   bool
+
+	Hits           stats.Counter
+	Misses         stats.Counter
+	WayMispredicts stats.Counter
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	HitLatency uint64
+	WayPredict bool
+}
+
+// NewCache builds a cache over next. The set count (size / ways / block)
+// need not be a power of two (the 3 MB L2 of Table 1 has 6144 sets); sets
+// are indexed block-number-modulo-sets with the full block number as tag.
+func NewCache(cfg Config, next Level) *Cache {
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
+	if nsets <= 0 {
+		panic("mem: cache must have at least one set")
+	}
+	blockBits := uint(0)
+	for 1<<blockBits < cfg.BlockBytes {
+		blockBits++
+	}
+	c := &Cache{
+		name:         cfg.Name,
+		nsets:        uint64(nsets),
+		blockBits:    blockBits,
+		ways:         cfg.Ways,
+		hitLat:       cfg.HitLatency,
+		next:         next,
+		sets:         make([][]line, nsets),
+		predictedWay: make([]int, nsets),
+		wayPredict:   cfg.WayPredict,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// BlockBytes returns the block size.
+func (c *Cache) BlockBytes() int { return 1 << c.blockBits }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	b := addr >> c.blockBits
+	return b % c.nsets, b
+}
+
+// promote moves way w of set s to MRU position.
+func (c *Cache) promote(s uint64, w int) {
+	set := c.sets[s]
+	l := set[w]
+	copy(set[1:w+1], set[:w])
+	set[0] = l
+}
+
+// Access implements Level: look up addr at cycle now, filling from the next
+// level on a miss, and return the data-available cycle.
+func (c *Cache) Access(addr uint64, now uint64) uint64 {
+	done, _ := c.Lookup(addr, now)
+	return done
+}
+
+// Lookup is Access plus a hit indication, letting the fetch engine tell a
+// way-mispredict bubble (hit, done = now+1) from a real miss it must stall
+// on.
+func (c *Cache) Lookup(addr uint64, now uint64) (uint64, bool) {
+	set, tag := c.index(addr)
+	for w, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			c.Hits.Inc()
+			extra := uint64(0)
+			if c.wayPredict && c.predictedWay[set] != w {
+				// Way misprediction: one retry cycle, retrain.
+				c.WayMispredicts.Inc()
+				extra = 1
+			}
+			c.promote(set, w)
+			if c.wayPredict {
+				c.predictedWay[set] = 0 // MRU after promote
+			}
+			done := now + c.hitLat + extra
+			if l.readyAt > done {
+				done = l.readyAt // fill still in flight
+			}
+			return done, true
+		}
+	}
+	// Miss: fill from next level, install as MRU (evict LRU).
+	c.Misses.Inc()
+	fill := c.next.Access(addr, now+c.hitLat) + c.MissExtra
+	set2 := c.sets[set]
+	copy(set2[1:], set2[:len(set2)-1])
+	set2[0] = line{tag: tag, valid: true, readyAt: fill}
+	if c.wayPredict {
+		c.predictedWay[set] = 0
+	}
+	return fill, false
+}
+
+// Probe reports whether addr currently hits without touching LRU state or
+// counters (used by tests and by fetch-ahead heuristics).
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses / (hits + misses).
+func (c *Cache) MissRate() float64 {
+	total := c.Hits.Value() + c.Misses.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses.Value()) / float64(total)
+}
+
+// Hierarchy bundles the per-core L1s with the shared L2 and memory.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	Mem *FlatMemory
+}
+
+// HierarchyConfig carries the Table 1 memory-system parameters.
+type HierarchyConfig struct {
+	L1ISize, L1IWays     int
+	L1DSize, L1DWays     int
+	L2Size, L2Ways       int
+	BlockBytes           int
+	L1Latency, L2Latency uint64
+	MemLatency           uint64
+	// CheckerMissPenalty is added to every L1 miss (Lock8-style checker).
+	CheckerMissPenalty uint64
+}
+
+// DefaultHierarchyConfig returns the paper's Table 1 memory parameters.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1ISize: 64 << 10, L1IWays: 2,
+		L1DSize: 64 << 10, L1DWays: 2,
+		L2Size: 3 << 20, L2Ways: 8,
+		BlockBytes: 64,
+		L1Latency:  0, // the pipeline's M stage covers the L1 hit time
+		L2Latency:  12,
+		MemLatency: 100,
+	}
+}
+
+// NewHierarchy builds per-core L1s over a shared L2/memory. Pass the same
+// *Cache L2 to share it between cores (CMP); pass nil l2 to build a private
+// one from cfg.
+func NewHierarchy(cfg HierarchyConfig, shared *Cache) *Hierarchy {
+	var l2 *Cache
+	var flat *FlatMemory
+	if shared != nil {
+		l2 = shared
+	} else {
+		flat = &FlatMemory{Latency: cfg.MemLatency}
+		l2 = NewCache(Config{
+			Name: "l2", SizeBytes: cfg.L2Size, Ways: cfg.L2Ways,
+			BlockBytes: cfg.BlockBytes, HitLatency: cfg.L2Latency,
+		}, flat)
+	}
+	h := &Hierarchy{
+		L1I: NewCache(Config{
+			Name: "l1i", SizeBytes: cfg.L1ISize, Ways: cfg.L1IWays,
+			BlockBytes: cfg.BlockBytes, HitLatency: cfg.L1Latency, WayPredict: true,
+		}, l2),
+		L1D: NewCache(Config{
+			Name: "l1d", SizeBytes: cfg.L1DSize, Ways: cfg.L1DWays,
+			BlockBytes: cfg.BlockBytes, HitLatency: cfg.L1Latency,
+		}, l2),
+		L2:  l2,
+		Mem: flat,
+	}
+	h.L1I.MissExtra = cfg.CheckerMissPenalty
+	h.L1D.MissExtra = cfg.CheckerMissPenalty
+	return h
+}
+
+// MergeBuffer models the coalescing merge buffer between the store queue and
+// the data cache: a small write-combining buffer with a fixed number of
+// block-granularity entries, draining one block write per cycle.
+type MergeBuffer struct {
+	capacity  int
+	blockBits uint
+	entries   map[uint64]uint64 // block addr -> earliest drain cycle
+	dcache    *Cache
+
+	Coalesced stats.Counter
+	Writes    stats.Counter
+}
+
+// NewMergeBuffer returns a merge buffer of capacity entries in front of d.
+func NewMergeBuffer(capacity int, blockBytes int, d *Cache) *MergeBuffer {
+	bb := uint(0)
+	for 1<<bb < blockBytes {
+		bb++
+	}
+	return &MergeBuffer{
+		capacity:  capacity,
+		blockBits: bb,
+		entries:   make(map[uint64]uint64),
+		dcache:    d,
+	}
+}
+
+// CanAccept reports whether a store to addr can enter at cycle now.
+func (m *MergeBuffer) CanAccept(addr uint64, now uint64) bool {
+	m.expire(now)
+	if _, ok := m.entries[addr>>m.blockBits]; ok {
+		return true // coalesces into an existing entry
+	}
+	return len(m.entries) < m.capacity
+}
+
+// Accept enqueues a store to addr at cycle now. Callers must have checked
+// CanAccept.
+func (m *MergeBuffer) Accept(addr uint64, now uint64) {
+	m.Writes.Inc()
+	b := addr >> m.blockBits
+	if _, ok := m.entries[b]; ok {
+		m.Coalesced.Inc()
+		return
+	}
+	// The block write reaches the data cache after the write completes;
+	// model the cache fill (write-allocate) and hold the entry until then.
+	done := m.dcache.Access(addr, now)
+	m.entries[b] = done
+}
+
+func (m *MergeBuffer) expire(now uint64) {
+	for b, done := range m.entries {
+		if done <= now {
+			delete(m.entries, b)
+		}
+	}
+}
+
+// Occupancy returns the number of live entries at cycle now.
+func (m *MergeBuffer) Occupancy(now uint64) int {
+	m.expire(now)
+	return len(m.entries)
+}

@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"math"
+
+	"repro/internal/predict"
+	"repro/internal/rmt"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+const neverUnblock = math.MaxUint64
+
+// Context is one hardware thread context on a core.
+type Context struct {
+	TID  int // context number on this core
+	Role Role
+	// Pair is the redundant pair this context belongs to (nil for
+	// RoleSingle).
+	Pair *rmt.Pair
+	// ProgID tags this logical program's address space in the shared
+	// memory hierarchy.
+	ProgID int
+
+	// Arch is the functional oracle.
+	Arch *vm.Thread
+	// PeerArch is the other copy's functional state (redundant pairs
+	// only): the trailing copy releases both overlays when its stores
+	// drain, keeping the shared committed memory consistent with the
+	// slower copy's execution point.
+	PeerArch *vm.Thread
+
+	// Stats accumulates per-thread counters.
+	Stats *stats.ThreadStats
+
+	// IOWrite performs an uncached (STIO) device write when the store
+	// leaves the sphere of replication (exactly once, after comparison in
+	// redundant modes). nil discards the write.
+	IOWrite func(addr, val uint64)
+
+	// Budget stops fetch after this many committed instructions
+	// (0 = unlimited).
+	Budget uint64
+	// Warmup is the committed-instruction count after which statistics are
+	// reset (caches and predictors stay warm), mirroring the paper's
+	// warm-then-measure methodology (§6.2). Must be < Budget.
+	Warmup uint64
+
+	// --- fetch state ---
+	fetchBlockedUntil uint64
+	// pendingBranch, when non-nil, is the unresolved mispredicted branch
+	// fetch is waiting on; fetch resumes the cycle after it completes.
+	pendingBranch *dynInst
+	fetchHalted   bool // HALT fetched or budget reached
+	ras           *predict.RAS
+	// lastChunkStart keys the line predictor (it predicts the next chunk
+	// from the current one).
+	lastChunkStart uint64
+	haveLastChunk  bool
+
+	// rmb is the rate-matching buffer: fetched, decoded instructions in
+	// program order awaiting rename.
+	rmb []*dynInst
+
+	// rob is the in-flight window (renamed, unretired), program order.
+	rob []*dynInst
+
+	// Rename tables: last in-flight writer per architectural register.
+	lastInt [32]*dynInst
+	lastFP  [32]*dynInst
+
+	// inFlightStores tracks renamed, undrained stores for memory
+	// disambiguation and the partial-forward rule.
+	inFlightStores []*dynInst
+
+	// retiredStores holds retired-but-undrained stores in program order
+	// (leading: awaiting verification; single: awaiting merge-buffer
+	// drain).
+	retiredStores []*dynInst
+
+	// trailRetiredStores holds retired trailing stores whose comparator
+	// records have not yet been consumed (their SQ entries stay busy).
+	trailRetiredStores []*dynInst
+
+	// Queue occupancies and caps (static division of Table 1's queues).
+	lqUsed, sqUsed int
+	lqCap, sqCap   int
+
+	// iqOccupancy caches this thread's instruction-queue slot usage.
+	iqOccupancy int
+
+	// nextInterruptAt is the next timer-interrupt cycle (0 = disabled or
+	// trailing role, which follows the pair's replicated schedule).
+	nextInterruptAt uint64
+	// Interrupts counts interrupts delivered to this context.
+	Interrupts uint64
+
+	committed uint64
+	// FinishCycle records when the commit budget was reached (0 = not
+	// yet). Threads keep running after their budget so resource contention
+	// stays realistic until every thread finishes.
+	FinishCycle uint64
+	// WarmCycle records when the warmup count was reached.
+	WarmCycle uint64
+	warmed    bool
+}
+
+// Committed returns the number of retired instructions.
+func (c *Context) Committed() uint64 { return c.committed }
+
+// BudgetReached reports whether the commit budget has been hit.
+func (c *Context) BudgetReached() bool {
+	return c.Budget > 0 && c.committed >= c.Budget
+}
+
+// robHead returns the oldest in-flight instruction, nil if none.
+func (c *Context) robHead() *dynInst {
+	if len(c.rob) == 0 {
+		return nil
+	}
+	return c.rob[0]
+}
+
+// usesLoadQueue reports whether the context's loads occupy load-queue
+// entries. Trailing threads read the LVQ instead, freeing their share
+// (§4.1).
+func (c *Context) usesLoadQueue() bool { return c.Role != RoleTrailing }
+
+// drainedAndIdle reports whether the context has no in-flight work at all.
+func (c *Context) drainedAndIdle() bool {
+	return len(c.rob) == 0 && len(c.rmb) == 0 &&
+		len(c.retiredStores) == 0 && len(c.trailRetiredStores) == 0
+}

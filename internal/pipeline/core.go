@@ -1,0 +1,242 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/predict"
+	"repro/internal/stats"
+)
+
+// Core is one SMT processor core: shared fetch/rename/issue/retire hardware
+// multiplexed over up to four hardware thread contexts.
+type Core struct {
+	ID  int
+	cfg Config
+
+	cycle uint64
+
+	ctxs []*Context
+
+	hier     *mem.Hierarchy
+	mergeBuf *mem.MergeBuffer
+
+	linePred   *predict.LinePredictor
+	branchPred *predict.BranchPredictor
+	jumpPred   *predict.JumpPredictor
+	storeSets  *predict.StoreSets
+
+	// iqUsed tracks occupancy of the two instruction-queue halves
+	// (false=lower, true=upper indexed as 0/1).
+	iqUsed [2]int
+
+	// inFlight counts renamed, unretired instructions across all threads:
+	// the shared completion-unit / physical-register budget (512 physical
+	// minus 256 architectural registers = 256 renames in flight).
+	inFlight int
+
+	fetchRR    int
+	dispatchRR int
+
+	// Retired counts total instructions retired on this core (watchdog
+	// progress indicator).
+	Retired uint64
+
+	// DrainTap, when non-nil, observes every RoleSingle store as it leaves
+	// the core for the rest of the system — the signal a lockstep
+	// machine's central checker interposes on (internal/lockstep).
+	DrainTap func(addr, val uint64, size int)
+
+	// Trace, when non-nil, receives a TraceEvent at each pipeline stage an
+	// instruction passes (internal/trace renders them).
+	Trace func(ev TraceEvent)
+}
+
+// TraceStage identifies a pipeline event for tracing.
+type TraceStage uint8
+
+// Trace stages.
+const (
+	StageFetch TraceStage = iota
+	StageDispatch
+	StageIssue
+	StageDone
+	StageRetire
+)
+
+// TraceEvent is one instruction passing one pipeline stage.
+type TraceEvent struct {
+	Cycle uint64
+	TID   int
+	Seq   uint64
+	PC    uint64
+	Text  string
+	Stage TraceStage
+}
+
+// emit sends a trace event if tracing is enabled. Done events are emitted
+// at issue time with the (already decided) completion cycle.
+func (co *Core) emit(ctx *Context, d *dynInst, stage TraceStage, cycle uint64) {
+	if co.Trace == nil {
+		return
+	}
+	co.Trace(TraceEvent{
+		Cycle: cycle,
+		TID:   ctx.TID,
+		Seq:   d.out.Seq,
+		PC:    d.out.PC,
+		Text:  d.out.Instr.String(),
+		Stage: stage,
+	})
+}
+
+// NewCore builds a core with the given contexts. shared may carry a shared
+// L2 for CMP configurations (nil = private hierarchy).
+func NewCore(id int, cfg Config, sharedL2 *mem.Cache) *Core {
+	co := &Core{
+		ID:         id,
+		cfg:        cfg,
+		hier:       mem.NewHierarchy(cfg.Hier, sharedL2),
+		linePred:   predict.NewLinePredictor(cfg.LinePredictorBits),
+		branchPred: predict.NewBranchPredictor(cfg.BranchPredictorBits),
+		jumpPred:   predict.NewJumpPredictor(cfg.JumpPredictorBits),
+		storeSets:  predict.NewStoreSets(cfg.StoreSetBits, cfg.StoreSetCount),
+	}
+	co.mergeBuf = mem.NewMergeBuffer(cfg.MergeBufEntries, cfg.Hier.BlockBytes, co.hier.L1D)
+	return co
+}
+
+// Hierarchy exposes the core's memory hierarchy (for inspection and shared-L2
+// plumbing).
+func (co *Core) Hierarchy() *mem.Hierarchy { return co.hier }
+
+// Contexts returns the hardware thread contexts.
+func (co *Core) Contexts() []*Context { return co.ctxs }
+
+// Cycle returns the current cycle number.
+func (co *Core) Cycle() uint64 { return co.cycle }
+
+// AddContext attaches a hardware thread context and finalises its queue
+// shares once all contexts are attached via FinalizeQueues.
+func (co *Core) AddContext(ctx *Context) {
+	ctx.TID = len(co.ctxs)
+	ctx.ras = predict.NewRAS(co.cfg.RASDepth)
+	if ctx.Stats == nil {
+		ctx.Stats = &stats.ThreadStats{}
+	}
+	co.ctxs = append(co.ctxs, ctx)
+}
+
+// FinalizeQueues statically divides the load and store queues among the
+// attached contexts (§3.4): the store queue among all threads (or SQCap each
+// with per-thread store queues), the load queue among the threads that use
+// it (trailing threads read the LVQ instead, §4.1).
+func (co *Core) FinalizeQueues() {
+	nLQ := 0
+	for _, c := range co.ctxs {
+		if c.usesLoadQueue() {
+			nLQ++
+		}
+	}
+	for _, c := range co.ctxs {
+		if co.cfg.PerThreadSQ {
+			c.sqCap = co.cfg.SQCap
+		} else {
+			c.sqCap = co.cfg.SQCap / len(co.ctxs)
+		}
+		if c.usesLoadQueue() {
+			c.lqCap = co.cfg.LQCap / nLQ
+		}
+	}
+}
+
+// iAddr maps a program counter into the tagged instruction address space.
+// Each program's code image is offset by a stride that is NOT a multiple of
+// the instruction cache's set span (as a linker's layout would be), so
+// co-scheduled programs spread across sets instead of thrashing one set —
+// 0x2840 bytes lands images 161 sets apart in a 512-set L1I.
+func (co *Core) iAddr(ctx *Context, pc uint64) uint64 {
+	return uint64(ctx.ProgID)<<44 | 1<<43 | (uint64(ctx.ProgID)*0x2840 + pc<<3)
+}
+
+// dAddr maps a data address into the tagged data address space.
+func (co *Core) dAddr(ctx *Context, addr uint64) uint64 {
+	return uint64(ctx.ProgID)<<44 | addr&((1<<43)-1)
+}
+
+func halfIdx(upper bool) int {
+	if upper {
+		return 1
+	}
+	return 0
+}
+
+// iqHasRoom checks capacity in the requested half while honouring the
+// per-thread reserved chunk (§4.3): a dispatch may not consume slots that
+// another thread needs to keep one chunk's worth of guaranteed space.
+func (co *Core) iqHasRoom(ctx *Context, upper bool) bool {
+	h := halfIdx(upper)
+	if co.iqUsed[h] >= co.cfg.IQHalfCap {
+		return false
+	}
+	if !co.cfg.ReservedChunks {
+		return true
+	}
+	reserve := 0
+	for _, o := range co.ctxs {
+		if o == ctx {
+			continue
+		}
+		if n := o.iqN(); n < co.cfg.ChunkSize {
+			reserve += co.cfg.ChunkSize - n
+		}
+	}
+	total := co.iqUsed[0] + co.iqUsed[1]
+	return total+1+reserve <= 2*co.cfg.IQHalfCap
+}
+
+// inFlightHasRoom checks the shared rename budget, reserving one chunk's
+// worth per other thread (same deadlock-avoidance principle as the IQ).
+func (co *Core) inFlightHasRoom(ctx *Context) bool {
+	if co.inFlight >= co.cfg.InFlightCap {
+		return false
+	}
+	if !co.cfg.ReservedChunks {
+		return true
+	}
+	reserve := 0
+	for _, o := range co.ctxs {
+		if o == ctx {
+			continue
+		}
+		if n := len(o.rob); n < co.cfg.ChunkSize {
+			reserve += co.cfg.ChunkSize - n
+		}
+	}
+	return co.inFlight+1+reserve <= co.cfg.InFlightCap
+}
+
+// iqN is a cached per-context IQ occupancy counter.
+func (c *Context) iqN() int { return c.iqOccupancy }
+
+// Step advances the core by one cycle.
+func (co *Core) Step() {
+	// Stage order within a cycle is back-to-front so a value produced this
+	// cycle is consumed no earlier than the next.
+	co.retireStage()
+	co.drainStores()
+	co.issueStage()
+	co.dispatchStage()
+	co.fetchStage()
+	co.cycle++
+}
+
+// String summarises occupancy for debugging.
+func (co *Core) String() string {
+	s := fmt.Sprintf("core%d cyc=%d iq=%d/%d", co.ID, co.cycle, co.iqUsed[0], co.iqUsed[1])
+	for _, c := range co.ctxs {
+		s += fmt.Sprintf(" [t%d %s rob=%d rmb=%d sq=%d/%d committed=%d]",
+			c.TID, c.Role, len(c.rob), len(c.rmb), c.sqUsed, c.sqCap, c.committed)
+	}
+	return s
+}

@@ -1,0 +1,253 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// progGen generates random, terminating, self-contained programs: an outer
+// counted loop whose body mixes ALU work, loads/stores confined to a 64 KB
+// scratch region, short forward branches, byte/quad mixes (partial
+// forwarding), memory barriers, and calls. Everything the timing model
+// handles, in random combination.
+type progGen struct{ state uint64 }
+
+func (g *progGen) next() uint64 {
+	g.state ^= g.state << 13
+	g.state ^= g.state >> 7
+	g.state ^= g.state << 17
+	return g.state
+}
+
+func (g *progGen) reg() isa.Reg { return isa.Reg(1 + g.next()%14) } // R1..R14
+
+const scratchBase = 0x10000
+
+func (g *progGen) gen(iters int64) *isa.Program {
+	b := isa.NewBuilder(fmt.Sprintf("rand%x", g.state))
+	b.Ldi(isa.R20, scratchBase)
+	b.Ldi(isa.R15, iters) // loop counter (reserved)
+	// Seed work registers deterministically.
+	for r := isa.R1; r <= isa.R14; r++ {
+		b.Ldi(r, int64(g.next()&0xffff))
+	}
+	b.Label("top")
+	bodyLen := 10 + int(g.next()%30)
+	for i := 0; i < bodyLen; i++ {
+		switch g.next() % 12 {
+		case 0:
+			b.Add(g.reg(), g.reg(), g.reg())
+		case 1:
+			b.Mul(g.reg(), g.reg(), g.reg())
+		case 2:
+			b.Xor(g.reg(), g.reg(), g.reg())
+		case 3:
+			b.Addi(g.reg(), g.reg(), int64(g.next()%1000)-500)
+		case 4:
+			b.Srli(g.reg(), g.reg(), int64(g.next()%32))
+		case 5: // quad store to a masked scratch address
+			addr, data := g.reg(), g.reg()
+			b.Andi(isa.R16, addr, 0xfff8)
+			b.Add(isa.R16, isa.R16, isa.R20)
+			b.Stq(data, isa.R16, 0)
+		case 6: // quad load
+			addr := g.reg()
+			b.Andi(isa.R16, addr, 0xfff8)
+			b.Add(isa.R16, isa.R16, isa.R20)
+			b.Ldq(g.reg(), isa.R16, 0)
+		case 7: // byte store then possibly-overlapping quad load (partial fwd)
+			addr, data := g.reg(), g.reg()
+			b.Andi(isa.R16, addr, 0xfff8)
+			b.Add(isa.R16, isa.R16, isa.R20)
+			b.Stb(data, isa.R16, int64(g.next()%8))
+			if g.next()%2 == 0 {
+				b.Ldq(g.reg(), isa.R16, 0)
+			}
+		case 8: // short forward branch over one instruction
+			cond := g.reg()
+			label := fmt.Sprintf("skip%d_%d", iters, i)
+			switch g.next() % 3 {
+			case 0:
+				b.Beq(cond, label)
+			case 1:
+				b.Bne(cond, label)
+			case 2:
+				b.Blt(cond, label)
+			}
+			b.Addi(g.reg(), g.reg(), 1)
+			b.Label(label)
+		case 9:
+			if g.next()%4 == 0 {
+				b.Mb()
+			} else {
+				b.Cmplt(g.reg(), g.reg(), g.reg())
+			}
+		case 10: // FP excursion through the int values
+			fa, fb := isa.Reg(1+g.next()%6), isa.Reg(1+g.next()%6)
+			b.Cvtqf(fa, g.reg())
+			b.Fadd(fb, fb, fa)
+			b.Ftoi(isa.R17, fb)
+			b.Andi(isa.R17, isa.R17, 0xffff)
+		case 11: // call a tiny helper
+			b.Jsr(isa.R26, "helper")
+		}
+	}
+	b.Addi(isa.R15, isa.R15, -1)
+	b.Bne(isa.R15, "top")
+	b.Halt()
+
+	b.Label("helper")
+	b.Xori(isa.R18, isa.R18, 0x5a)
+	b.Add(isa.R18, isa.R18, isa.R1)
+	b.Ret(isa.R26)
+	return b.MustFinish()
+}
+
+// snapshot captures the architectural state a program leaves behind.
+type snapshot struct {
+	intReg  [32]uint64
+	fpReg   [32]uint64
+	scratch [8192]uint64 // the whole 64 KB region
+}
+
+func snap(th *vm.Thread, memImg *vm.Memory) snapshot {
+	var s snapshot
+	s.intReg = th.IntReg
+	s.fpReg = th.FPReg
+	for i := range s.scratch {
+		s.scratch[i] = memImg.Read64(scratchBase + uint64(i*8))
+	}
+	return s
+}
+
+func functionalRun(t *testing.T, prog *isa.Program) snapshot {
+	t.Helper()
+	memImg := vm.NewMemory()
+	vm.Load(prog, memImg)
+	th := vm.NewThread(0, prog, memImg)
+	if n := th.Run(3_000_000); n == 3_000_000 {
+		t.Fatal("functional run did not terminate")
+	}
+	// Commit the overlay so memory reflects all stores.
+	// (Functional-only threads never release; read through the overlay.)
+	var s snapshot
+	s.intReg = th.IntReg
+	s.fpReg = th.FPReg
+	for i := range s.scratch {
+		s.scratch[i] = th.Mem.Read64(scratchBase + uint64(i*8))
+	}
+	return s
+}
+
+func compareSnapshots(t *testing.T, tag string, want, got snapshot) {
+	t.Helper()
+	for r := 0; r < 32; r++ {
+		if want.intReg[r] != got.intReg[r] {
+			t.Errorf("%s: R%d = %#x, want %#x", tag, r, got.intReg[r], want.intReg[r])
+		}
+		if want.fpReg[r] != got.fpReg[r] {
+			t.Errorf("%s: F%d = %#x, want %#x", tag, r, got.fpReg[r], want.fpReg[r])
+		}
+	}
+	diffs := 0
+	for i := range want.scratch {
+		if want.scratch[i] != got.scratch[i] {
+			diffs++
+			if diffs <= 3 {
+				t.Errorf("%s: mem[%#x] = %#x, want %#x",
+					tag, scratchBase+uint64(i*8), got.scratch[i], want.scratch[i])
+			}
+		}
+	}
+	if diffs > 3 {
+		t.Errorf("%s: ... and %d more memory differences", tag, diffs-3)
+	}
+}
+
+// TestDifferentialBase runs random programs through the full timing model
+// and checks the architectural outcome — registers and committed memory —
+// is bit-identical to pure functional execution. The timing model may
+// reorder and stall, but must never change semantics.
+func TestDifferentialBase(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g := &progGen{state: seed * 0x9E3779B97F4A7C15}
+			prog := g.gen(40)
+			want := functionalRun(t, prog)
+
+			m, ctx := singleMachine(t, prog, 10_000_000)
+			if _, err := m.Run(3_000_000); err != nil {
+				t.Fatal(err)
+			}
+			memImg := ctxMemory(ctx)
+			got := snap(ctx.Arch, memImg)
+			compareSnapshots(t, "base", want, got)
+			if ctx.Arch.Mem.PendingBytes() != 0 {
+				t.Errorf("overlay not fully drained: %d bytes", ctx.Arch.Mem.PendingBytes())
+			}
+		})
+	}
+}
+
+// TestDifferentialSRT runs the same random programs as redundant pairs:
+// both copies must finish with the functional state, all stores verified,
+// zero mismatches.
+func TestDifferentialSRT(t *testing.T) {
+	configs := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"plain", func(c *Config) {}},
+		{"ptsq", func(c *Config) { c.PerThreadSQ = true }},
+		{"nosc", func(c *Config) { c.NoStoreComparison = true }},
+		{"smallLVQ", func(c *Config) { c.LVQSize = 8 }},
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		for _, cc := range configs {
+			tag := fmt.Sprintf("seed%d/%s", seed, cc.name)
+			t.Run(tag, func(t *testing.T) {
+				g := &progGen{state: seed * 0xBF58476D1CE4E5B9}
+				prog := g.gen(30)
+				want := functionalRun(t, prog)
+
+				cfg := DefaultConfig()
+				cc.mut(&cfg)
+				m, lead, trail, pair := srtMachine(t, prog, 10_000_000, cfg)
+				if _, err := m.Run(3_000_000); err != nil {
+					t.Fatal(err)
+				}
+				// The run stops when the (budgeted) leading copy halts and
+				// drains; give the trailing copy time to drain its last
+				// stores so every commit reaches memory.
+				for i := 0; i < 50000 && !(trail.Arch.Halted && trail.drainedAndIdle()); i++ {
+					m.Cores[0].Step()
+				}
+				if !trail.Arch.Halted {
+					t.Fatal("trailing copy never reached HALT")
+				}
+				compareSnapshots(t, tag+"/lead", want, snap(lead.Arch, ctxMemory(lead)))
+				// The trailing copy's registers must match too (identical
+				// stream).
+				got := snap(trail.Arch, ctxMemory(trail))
+				for r := 0; r < 32; r++ {
+					if want.intReg[r] != got.intReg[r] {
+						t.Errorf("%s/trail: R%d = %#x, want %#x", tag, r, got.intReg[r], want.intReg[r])
+					}
+				}
+				if !cfg.NoStoreComparison && pair.Cmp.Mismatches.Value() != 0 {
+					t.Errorf("%s: %d mismatches in fault-free run", tag, pair.Cmp.Mismatches.Value())
+				}
+				if len(pair.Detected) != 0 {
+					t.Errorf("%s: spurious detections", tag)
+				}
+			})
+		}
+	}
+}
+
+// ctxMemory digs out the shared committed memory under a context's overlay.
+func ctxMemory(ctx *Context) *vm.Memory { return ctx.Arch.Mem.Backing() }

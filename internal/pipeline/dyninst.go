@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// classKind is the pipeline-internal instruction class used for latency and
+// port selection.
+type classKind uint8
+
+const (
+	kindIntALU classKind = iota
+	kindIntMul
+	kindIntDiv
+	kindLoad
+	kindStore
+	kindFPAdd
+	kindFPMul
+	kindFPDiv
+	kindBranch
+	kindBarrier
+	kindHalt
+	kindNop
+)
+
+func kindOf(op isa.Op) classKind {
+	switch isa.ClassOf(op) {
+	case isa.ClassIntALU:
+		return kindIntALU
+	case isa.ClassIntMul:
+		return kindIntMul
+	case isa.ClassIntDiv:
+		return kindIntDiv
+	case isa.ClassLoad:
+		return kindLoad
+	case isa.ClassStore:
+		return kindStore
+	case isa.ClassFPAdd:
+		return kindFPAdd
+	case isa.ClassFPMul:
+		return kindFPMul
+	case isa.ClassFPDiv:
+		return kindFPDiv
+	case isa.ClassBranch, isa.ClassJump:
+		return kindBranch
+	case isa.ClassBarrier:
+		return kindBarrier
+	case isa.ClassHalt:
+		return kindHalt
+	}
+	return kindNop
+}
+
+// dynInst is one dynamic instruction flowing through the timing model.
+type dynInst struct {
+	out  vm.Outcome
+	tid  int
+	kind classKind
+
+	// Pipeline event cycles.
+	fetchCycle  uint64
+	rmbReadyAt  uint64 // visible to the PBOX (fetch + IBOX latency)
+	renameCycle uint64
+	issueCycle  uint64
+	doneCycle   uint64 // result available (bypass) / store data in SQ
+	retireCycle uint64
+
+	inIQ    bool
+	issued  bool
+	retired bool
+
+	// earliestIssue gates issue (queue-front latency, LVQ retry).
+	earliestIssue uint64
+
+	// fetchSlot is the instruction's position within its fetch chunk; the
+	// QBOX assigns the issue-queue half from it (§3.3).
+	fetchSlot int
+	// upperHalf is the issue-queue half the instruction was dispatched to.
+	upperHalf bool
+	// fu is the functional unit the instruction issued on (half*4+slot).
+	fu uint8
+
+	// Producers for operand readiness (nil = architecturally ready).
+	srcA, srcB, srcD *dynInst
+
+	// Memory dependence: the youngest older overlapping store. covered
+	// means full containment (store-queue forwarding possible); partial
+	// means the store must drain before the load may access the cache.
+	depStore *dynInst
+	covered  bool
+	partial  bool
+	// predictedDep is the store-sets-predicted producer store.
+	predictedDep *dynInst
+
+	// Branch state, decided at fetch against the oracle outcome.
+	mispredicted bool
+
+	// Store lifecycle.
+	sqEntered  uint64 // cycle the SQ entry was allocated (rename)
+	verified   bool   // leading: output comparison done
+	verifiedAt uint64
+	drained    bool // left the SQ for the merge buffer / dropped
+	forceTerm  bool // chunk must terminate after this store (partial fwd)
+
+	// RMT correlation tags (non-zero when applicable).
+	loadTag  uint64
+	storeTag uint64
+
+	// Leading-copy resource info delivered through the LPQ (trailing
+	// copies only).
+	hasLeadInfo bool
+	leadUpper   bool
+	leadFU      uint8
+}
+
+func (d *dynInst) isLoad() bool  { return d.kind == kindLoad }
+func (d *dynInst) isStore() bool { return d.kind == kindStore }
+func (d *dynInst) isMem() bool   { return d.kind == kindLoad || d.kind == kindStore }
+
+// overlaps reports whether two memory accesses touch any common byte.
+func overlaps(a1 uint64, s1 int, a2 uint64, s2 int) bool {
+	return a1 < a2+uint64(s2) && a2 < a1+uint64(s1)
+}
+
+// covers reports whether access (a1,s1) fully contains (a2,s2).
+func covers(a1 uint64, s1 int, a2 uint64, s2 int) bool {
+	return a1 <= a2 && a1+uint64(s1) >= a2+uint64(s2)
+}

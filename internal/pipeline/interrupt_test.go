@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// interruptProgram: a compute loop plus an interrupt handler that counts
+// deliveries in memory and stores a progress snapshot (so handler stores
+// flow through RMT output comparison too).
+func interruptProgram(iters int64) *isa.Program {
+	b := isa.NewBuilder("intr")
+	b.Ldi(isa.R1, iters)
+	b.Ldi(isa.R21, 0x6000) // interrupt counter cell
+	b.Label("top")
+	b.Addi(isa.R2, isa.R2, 3)
+	b.Mul(isa.R3, isa.R2, isa.R2)
+	b.Andi(isa.R3, isa.R3, 0xffff)
+	b.Stq(isa.R3, isa.R21, 8)
+	b.Addi(isa.R1, isa.R1, -1)
+	b.Bne(isa.R1, "top")
+	b.Halt()
+
+	b.InterruptHandlerAt("handler")
+	b.Label("handler")
+	b.Ldq(isa.R28, isa.R21, 0)
+	b.Addi(isa.R28, isa.R28, 1)
+	b.Stq(isa.R28, isa.R21, 0)
+	b.Jmp(isa.R31, isa.R30) // return from interrupt
+	return b.MustFinish()
+}
+
+// TestInterruptsDeliveredSingle: the timer interrupt fires periodically, the
+// handler runs, and the count lands in memory.
+func TestInterruptsDeliveredSingle(t *testing.T) {
+	prog := interruptProgram(4000)
+	cfg := DefaultConfig()
+	cfg.InterruptEvery = 1000
+	core := NewCore(0, cfg, nil)
+	memImg, ctx := wire(core, prog, RoleSingle, 1_000_000)
+	core.FinalizeQueues()
+	m := &Machine{Cores: []*Core{core}}
+	if _, err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Interrupts == 0 {
+		t.Fatal("no interrupts delivered")
+	}
+	if got := memImg.Read64(0x6000); got != ctx.Interrupts {
+		t.Errorf("handler counted %d, machine delivered %d", got, ctx.Interrupts)
+	}
+}
+
+// TestInterruptReplicationSRT: the leading copy takes asynchronous timer
+// interrupts; the trailing copy must take them at exactly the same dynamic
+// instruction points, so the two streams stay identical and every handler
+// store verifies (SRT interrupt input replication).
+func TestInterruptReplicationSRT(t *testing.T) {
+	prog := interruptProgram(4000)
+	cfg := DefaultConfig()
+	cfg.InterruptEvery = 1500
+	m, lead, trail, pair := srtMachine(t, prog, 1_000_000, cfg)
+	if _, err := m.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000 && !(trail.Arch.Halted && trail.drainedAndIdle()); i++ {
+		m.Cores[0].Step()
+	}
+	if lead.Interrupts == 0 {
+		t.Fatal("leading copy took no interrupts")
+	}
+	if trail.Interrupts != lead.Interrupts {
+		t.Errorf("interrupt counts diverge: leading %d, trailing %d",
+			lead.Interrupts, trail.Interrupts)
+	}
+	if pair.Cmp.Mismatches.Value() != 0 {
+		t.Errorf("%d store mismatches: interrupt points not replicated exactly",
+			pair.Cmp.Mismatches.Value())
+	}
+	if len(pair.Detected) != 0 {
+		t.Errorf("%d spurious detections", len(pair.Detected))
+	}
+	// Both copies' handler counters agree.
+	if l, tr := lead.Arch.Mem.Read64(0x6000), trail.Arch.Mem.Read64(0x6000); l != tr {
+		t.Errorf("handler counters diverge: %d vs %d", l, tr)
+	}
+}
+
+// TestNoInterruptsWithoutHandler: a program without a handler must never be
+// redirected even with the timer configured.
+func TestNoInterruptsWithoutHandler(t *testing.T) {
+	prog := tinyLoop(500)
+	cfg := DefaultConfig()
+	cfg.InterruptEvery = 200
+	core := NewCore(0, cfg, nil)
+	_, ctx := wire(core, prog, RoleSingle, 1_000_000)
+	core.FinalizeQueues()
+	m := &Machine{Cores: []*Core{core}}
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Interrupts != 0 {
+		t.Errorf("%d interrupts delivered to a handler-less program", ctx.Interrupts)
+	}
+}
+
+// wire attaches a fresh context running prog to core and returns its memory
+// image.
+func wire(core *Core, prog *isa.Program, role Role, budget uint64) (*vm.Memory, *Context) {
+	memImg := vm.NewMemory()
+	vm.Load(prog, memImg)
+	ctx := NewContext(role, 0, vm.NewThread(0, prog, memImg), budget)
+	core.AddContext(ctx)
+	return memImg, ctx
+}

@@ -1,0 +1,238 @@
+package predict
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// --- line predictor ---
+
+func TestLinePredictorLearnsTransitions(t *testing.T) {
+	lp := NewLinePredictor(10)
+	if _, ok := lp.Predict(0x100); ok {
+		t.Error("untrained predictor predicted")
+	}
+	lp.Train(0x100, 0x200)
+	got, ok := lp.Predict(0x100)
+	if !ok || got != 0x200 {
+		t.Errorf("predict = %#x, %v", got, ok)
+	}
+	lp.Train(0x100, 0x300) // retrain
+	if got, _ := lp.Predict(0x100); got != 0x300 {
+		t.Errorf("retrained predict = %#x", got)
+	}
+}
+
+func TestLinePredictorAliasing(t *testing.T) {
+	// Different PCs can alias to the same entry — the small-table effect
+	// that defeats sharing one line predictor between redundant threads.
+	lp := NewLinePredictor(2) // 4 entries
+	for pc := uint64(0); pc < 64; pc += 8 {
+		lp.Train(pc, pc+8)
+	}
+	wrong := 0
+	for pc := uint64(0); pc < 64; pc += 8 {
+		if got, ok := lp.Predict(pc); !ok || got != pc+8 {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Error("no aliasing in a 4-entry table trained with 8 streams")
+	}
+}
+
+// --- branch predictor ---
+
+func TestBranchPredictorLearnsBias(t *testing.T) {
+	bp := NewBranchPredictor(12)
+	pc := uint64(0x400)
+	for i := 0; i < 8; i++ {
+		bp.Train(pc, 0, true)
+	}
+	if !bp.Predict(pc, 0) {
+		t.Error("always-taken branch predicted not-taken")
+	}
+	for i := 0; i < 8; i++ {
+		bp.Train(pc, 0, false)
+	}
+	if bp.Predict(pc, 0) {
+		t.Error("retrained always-not-taken branch predicted taken")
+	}
+}
+
+func TestBranchPredictorLearnsPattern(t *testing.T) {
+	// gshare should learn a short alternating pattern through history.
+	bp := NewBranchPredictor(12)
+	pc := uint64(0x800)
+	taken := false
+	for i := 0; i < 4000; i++ {
+		bp.Train(pc, 0, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if bp.Predict(pc, 0) == taken {
+			correct++
+		}
+		bp.Train(pc, 0, taken)
+		taken = !taken
+	}
+	if correct < 95 {
+		t.Errorf("alternating pattern: %d/100 correct; hybrid should learn it", correct)
+	}
+}
+
+func TestBranchPredictorPerThreadHistory(t *testing.T) {
+	bp := NewBranchPredictor(12)
+	// Train thread 0 heavily on one pattern; thread 1's history must be
+	// separate (its gshare index differs).
+	pc := uint64(0x900)
+	for i := 0; i < 64; i++ {
+		bp.Train(pc, 0, true)
+	}
+	if bp.history[0] == bp.history[1] {
+		t.Error("thread histories not separated")
+	}
+}
+
+// --- RAS ---
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(10)
+	r.Push(20)
+	if v, ok := r.Pop(); !ok || v != 20 {
+		t.Errorf("pop = %d, %v", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != 10 {
+		t.Errorf("pop = %d, %v", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop of empty stack succeeded")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("pop = %d, want 2", v)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("wrapped stack should be empty after two pops")
+	}
+}
+
+func TestRASQuickBalanced(t *testing.T) {
+	// Property: with nesting shallower than the stack, calls and returns
+	// match exactly.
+	f := func(depths []uint8) bool {
+		r := NewRAS(32)
+		var model []uint64
+		for i, d := range depths {
+			if d%2 == 0 && len(model) < 30 {
+				addr := uint64(i + 1)
+				r.Push(addr)
+				model = append(model, addr)
+			} else if len(model) > 0 {
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				got, ok := r.Pop()
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- jump predictor ---
+
+func TestJumpPredictorLastTarget(t *testing.T) {
+	jp := NewJumpPredictor(8)
+	pc := uint64(0x123)
+	if _, ok := jp.Predict(pc); ok {
+		t.Error("untrained prediction")
+	}
+	jp.Train(pc, 0x500)
+	if got, ok := jp.Predict(pc); !ok || got != 0x500 {
+		t.Errorf("predict = %#x %v", got, ok)
+	}
+	jp.Train(pc, 0x600)
+	if got, _ := jp.Predict(pc); got != 0x600 {
+		t.Errorf("last-target update failed: %#x", got)
+	}
+}
+
+// --- store sets ---
+
+func TestStoreSetsLearnsDependence(t *testing.T) {
+	s := NewStoreSets(10, 16)
+	loadPC, storePC := uint64(0x100), uint64(0x200)
+
+	// Before any violation: no dependence.
+	if dep := s.DependsOn(storePC, true, 7); dep != 0 {
+		t.Errorf("untrained store dep = %d", dep)
+	}
+	if dep := s.DependsOn(loadPC, false, 0); dep != 0 {
+		t.Errorf("untrained load dep = %d", dep)
+	}
+
+	s.Violation(loadPC, storePC)
+
+	// Now a fetched store registers in the LFST and the load sees it.
+	if dep := s.DependsOn(storePC, true, 42); dep != 0 {
+		t.Errorf("store's own dep = %d, want 0 (empty set)", dep)
+	}
+	if dep := s.DependsOn(loadPC, false, 0); dep != 42 {
+		t.Errorf("load dep = %d, want 42", dep)
+	}
+
+	// After the store retires, the set empties.
+	s.StoreRetired(storePC, 42)
+	if dep := s.DependsOn(loadPC, false, 0); dep != 0 {
+		t.Errorf("dep after retire = %d", dep)
+	}
+}
+
+func TestStoreSetsChainStores(t *testing.T) {
+	// Two stores in one set chain: the second depends on the first.
+	s := NewStoreSets(10, 16)
+	s.Violation(0x100, 0x200)
+	s.Violation(0x100, 0x300) // merges 0x300 into the set
+	if dep := s.DependsOn(0x200, true, 1); dep != 0 {
+		t.Errorf("first store dep = %d", dep)
+	}
+	if dep := s.DependsOn(0x300, true, 2); dep != 1 {
+		t.Errorf("second store should chain behind the first, dep = %d", dep)
+	}
+}
+
+func TestStoreSetsCyclicClearing(t *testing.T) {
+	s := NewStoreSets(10, 16)
+	s.ClearEvery = 4
+	s.Violation(0x100, 0x200)
+	s.DependsOn(0x200, true, 9)
+	if dep := s.DependsOn(0x100, false, 0); dep != 9 {
+		t.Fatalf("dep = %d before clearing", dep)
+	}
+	// Exceed ClearEvery accesses.
+	for i := 0; i < 5; i++ {
+		s.DependsOn(0x900, false, 0)
+	}
+	if dep := s.DependsOn(0x100, false, 0); dep != 0 {
+		t.Errorf("dep = %d after cyclic clear, want 0", dep)
+	}
+	if s.Clears.Value() == 0 {
+		t.Error("clears counter not incremented")
+	}
+}

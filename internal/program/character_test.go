@@ -1,0 +1,108 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// profile measures a kernel's dynamic character over n instructions
+// starting after a warm lead-in (so self-initialisation doesn't dominate).
+type profile struct {
+	loadFrac, storeFrac, branchFrac float64
+}
+
+func measure(t *testing.T, name string, warm, n int) profile {
+	t.Helper()
+	p := MustBuild(name)
+	memImg := vm.NewMemory()
+	vm.Load(p, memImg)
+	th := vm.NewThread(0, p, memImg)
+	if got := th.Run(uint64(warm)); got != uint64(warm) {
+		t.Fatalf("%s halted during warmup", name)
+	}
+	var loads, stores, branches int
+	for i := 0; i < n; i++ {
+		out := th.Step()
+		switch {
+		case out.Instr.IsLoad():
+			loads++
+		case out.Instr.IsStore():
+			stores++
+		case out.Instr.IsBranch():
+			branches++
+		}
+	}
+	f := float64(n)
+	return profile{float64(loads) / f, float64(stores) / f, float64(branches) / f}
+}
+
+// TestKernelCharacter pins each kernel's engineered microarchitectural
+// character — the property the DESIGN.md substitution argument rests on.
+// Ranges are deliberately loose: they catch a kernel drifting out of its
+// SPEC namesake's regime (e.g., an edit that removes li's loads or fpppp's
+// straight-line density), not exact ratios.
+func TestKernelCharacter(t *testing.T) {
+	type bounds struct{ lo, hi float64 }
+	cases := map[string]struct {
+		load, store, branch bounds
+	}{
+		// Integer: branchy, load/store mixes.
+		"gcc":      {bounds{0.03, 0.30}, bounds{0.01, 0.15}, bounds{0.05, 0.25}},
+		"go":       {bounds{0.02, 0.20}, bounds{0.01, 0.15}, bounds{0.08, 0.30}},
+		"compress": {bounds{0.10, 0.30}, bounds{0.08, 0.30}, bounds{0.02, 0.15}},
+		"li":       {bounds{0.15, 0.40}, bounds{0.02, 0.20}, bounds{0.05, 0.30}},
+		"ijpeg":    {bounds{0.15, 0.60}, bounds{0.005, 0.15}, bounds{0.02, 0.15}},
+		"perl":     {bounds{0.05, 0.30}, bounds{0.005, 0.15}, bounds{0.05, 0.25}},
+		"m88ksim":  {bounds{0.08, 0.35}, bounds{0.02, 0.20}, bounds{0.05, 0.30}},
+		"vortex":   {bounds{0.10, 0.35}, bounds{0.05, 0.25}, bounds{0.02, 0.15}},
+		// FP: heavier memory traffic, few branches.
+		"swim":    {bounds{0.15, 0.45}, bounds{0.10, 0.40}, bounds{0.01, 0.10}},
+		"tomcatv": {bounds{0.20, 0.50}, bounds{0.03, 0.20}, bounds{0.01, 0.10}},
+		"mgrid":   {bounds{0.25, 0.55}, bounds{0.03, 0.20}, bounds{0.01, 0.10}},
+		"applu":   {bounds{0.03, 0.25}, bounds{0.03, 0.25}, bounds{0.02, 0.15}},
+		"apsi":    {bounds{0.03, 0.25}, bounds{0.03, 0.25}, bounds{0.02, 0.20}},
+		"hydro2d": {bounds{0.15, 0.45}, bounds{0.05, 0.30}, bounds{0.02, 0.20}},
+		"su2cor":  {bounds{0.10, 0.40}, bounds{0.05, 0.30}, bounds{0.02, 0.15}},
+		"fpppp":   {bounds{0.005, 0.10}, bounds{0.003, 0.10}, bounds{0.001, 0.05}},
+		"turb3d":  {bounds{0.10, 0.40}, bounds{0.10, 0.40}, bounds{0.01, 0.15}},
+		"wave5":   {bounds{0.10, 0.40}, bounds{0.10, 0.40}, bounds{0.01, 0.15}},
+	}
+	if len(cases) != 18 {
+		t.Fatalf("character table covers %d kernels, want 18", len(cases))
+	}
+	for name, want := range cases {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			got := measure(t, name, 30000, 30000)
+			check := func(label string, v float64, b bounds) {
+				if v < b.lo || v > b.hi {
+					t.Errorf("%s %s fraction %.3f outside engineered range [%.3f, %.3f]",
+						name, label, v, b.lo, b.hi)
+				}
+			}
+			check("load", got.loadFrac, want.load)
+			check("store", got.storeFrac, want.store)
+			check("branch", got.branchFrac, want.branch)
+		})
+	}
+}
+
+// TestFootprintOrdering: vortex's working set must dwarf go's — the
+// L2-pressure vs small-footprint contrast several experiments rely on.
+func TestFootprintOrdering(t *testing.T) {
+	pages := func(name string) int {
+		p := MustBuild(name)
+		memImg := vm.NewMemory()
+		vm.Load(p, memImg)
+		th := vm.NewThread(0, p, memImg)
+		th.Run(200000)
+		// Pending overlay bytes also occupy pages once committed; resident
+		// page count of the shared image is a good footprint proxy.
+		return memImg.Pages()
+	}
+	small, big := pages("go"), pages("vortex")
+	if big < small*4 {
+		t.Errorf("vortex pages %d not >> go pages %d", big, small)
+	}
+}

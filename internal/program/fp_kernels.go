@@ -1,0 +1,529 @@
+package program
+
+import "repro/internal/isa"
+
+// The floating-point suite. FP arrays are not pre-initialised: the kernels
+// write evolving values as they sweep (a zero operand is still a real FP
+// operation to the pipeline), which keeps budgeted runs in steady state.
+
+func init() {
+	register("swim", "fp",
+		"shallow-water stencil: streaming sweeps over large arrays, D-miss heavy",
+		buildSwim)
+	register("tomcatv", "fp",
+		"mesh generation: 2D five-point stencil, predictable, memory bound",
+		buildTomcatv)
+	register("mgrid", "fp",
+		"multigrid: 3D seven-point stencil with plane-strided accesses",
+		buildMgrid)
+	register("applu", "fp",
+		"LU solver: short blocks with serial FP divide chains",
+		buildApplu)
+	register("apsi", "fp",
+		"weather model: mixed int index math and FP updates",
+		buildApsi)
+	register("hydro2d", "fp",
+		"hydrodynamics: stencil plus data-dependent limiter branches",
+		buildHydro2d)
+	register("su2cor", "fp",
+		"quantum field gather: indexed FP loads through an index array",
+		buildSu2cor)
+	register("fpppp", "fp",
+		"quantum chemistry: enormous basic blocks, long FP dependence chains",
+		buildFpppp)
+	register("turb3d", "fp",
+		"turbulence FFT: butterfly passes with power-of-two strides",
+		buildTurb3d)
+	register("wave5", "fp",
+		"particle-in-cell: particle update with scatter/gather to a grid",
+		buildWave5)
+}
+
+// buildSwim streams three 512 KB arrays with a three-point update,
+// write-allocating as it goes: the dominant behaviour is L1/L2 miss
+// bandwidth, with perfectly predictable branches.
+func buildSwim() *isa.Program {
+	b := isa.NewBuilder("swim")
+	const (
+		u = 0x2000000 // 65536 doubles each
+		v = 0x2100000
+		p = 0x2200000
+		n = 65536
+	)
+	b.Ldi(isa.R20, u)
+	b.Ldi(isa.R21, v)
+	b.Ldi(isa.R22, p)
+	b.Ldi(isa.R1, 1)
+	b.Cvtqf(isa.F10, isa.R1) // 1.0 seed constant
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 0)
+
+	b.Label("sweep")
+	b.Slli(isa.R3, isa.R2, 3)
+	b.Add(isa.R4, isa.R3, isa.R20)
+	b.Add(isa.R5, isa.R3, isa.R21)
+	b.Add(isa.R6, isa.R3, isa.R22)
+	// Unrolled x4: four independent grid points per iteration — the
+	// abundant loop-level parallelism real swim exposes to a wide core.
+	// Point 0.
+	b.Fldq(isa.F1, isa.R4, 0)
+	b.Fldq(isa.F2, isa.R5, 0)
+	b.Fldq(isa.F3, isa.R6, 0)
+	b.Fsub(isa.F4, isa.F2, isa.F3)
+	b.Fadd(isa.F5, isa.F1, isa.F4)
+	b.Fadd(isa.F6, isa.F2, isa.F10)
+	b.Fstq(isa.F5, isa.R4, 0)
+	b.Fstq(isa.F6, isa.R5, 0)
+	// Point 1 (independent).
+	b.Fldq(isa.F11, isa.R4, 8)
+	b.Fldq(isa.F12, isa.R5, 8)
+	b.Fldq(isa.F13, isa.R6, 8)
+	b.Fsub(isa.F14, isa.F12, isa.F13)
+	b.Fadd(isa.F15, isa.F11, isa.F14)
+	b.Fadd(isa.F16, isa.F12, isa.F10)
+	b.Fstq(isa.F15, isa.R4, 8)
+	b.Fstq(isa.F16, isa.R5, 8)
+	// Point 2.
+	b.Fldq(isa.F17, isa.R4, 16)
+	b.Fldq(isa.F18, isa.R5, 16)
+	b.Fldq(isa.F19, isa.R6, 16)
+	b.Fsub(isa.F20, isa.F18, isa.F19)
+	b.Fadd(isa.F21, isa.F17, isa.F20)
+	b.Fstq(isa.F21, isa.R6, 16)
+	// Point 3.
+	b.Fldq(isa.F22, isa.R4, 24)
+	b.Fldq(isa.F23, isa.R5, 24)
+	b.Fldq(isa.F24, isa.R6, 24)
+	b.Fadd(isa.F25, isa.F22, isa.F23)
+	b.Fsub(isa.F26, isa.F25, isa.F24)
+	b.Fstq(isa.F26, isa.R6, 24)
+	b.Addi(isa.R2, isa.R2, 4)
+	b.Cmplti(isa.R7, isa.R2, n)
+	b.Bne(isa.R7, "sweep")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildTomcatv sweeps a 128x128 mesh with a five-point stencil: row-major
+// streaming with ±1 and ±row neighbours.
+func buildTomcatv() *isa.Program {
+	b := isa.NewBuilder("tomcatv")
+	const (
+		mesh = 0x2400000 // 16384 doubles = 128 KB
+		row  = 128
+		n    = row * row
+	)
+	b.Ldi(isa.R20, mesh)
+	b.Ldi(isa.R1, 3)
+	b.Cvtqf(isa.F10, isa.R1)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, row+1) // start inside the boundary
+
+	b.Label("pt")
+	// Two independent stencil points per iteration (they are two apart,
+	// so neither reads the other's output within the iteration).
+	b.Slli(isa.R3, isa.R2, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Fldq(isa.F1, isa.R3, 0)
+	b.Fldq(isa.F2, isa.R3, -8)
+	b.Fldq(isa.F3, isa.R3, 8)
+	b.Fldq(isa.F4, isa.R3, -8*row)
+	b.Fldq(isa.F5, isa.R3, 8*row)
+	b.Fadd(isa.F6, isa.F2, isa.F3)
+	b.Fadd(isa.F7, isa.F4, isa.F5)
+	b.Fadd(isa.F6, isa.F6, isa.F7)
+	b.Fsub(isa.F6, isa.F6, isa.F1)
+	b.Fadd(isa.F6, isa.F6, isa.F10)
+	b.Fstq(isa.F6, isa.R3, 0)
+	b.Fldq(isa.F11, isa.R3, 16)
+	b.Fldq(isa.F13, isa.R3, 24)
+	b.Fldq(isa.F14, isa.R3, -8*row+16)
+	b.Fldq(isa.F15, isa.R3, 8*row+16)
+	b.Fadd(isa.F16, isa.F13, isa.F14)
+	b.Fadd(isa.F16, isa.F16, isa.F15)
+	b.Fsub(isa.F16, isa.F16, isa.F11)
+	b.Fadd(isa.F16, isa.F16, isa.F10)
+	b.Fstq(isa.F16, isa.R3, 16)
+	b.Addi(isa.R2, isa.R2, 2)
+	b.Cmplti(isa.R4, isa.R2, n-row-3)
+	b.Bne(isa.R4, "pt")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildMgrid applies a seven-point 3D stencil over a 32^3 grid; the ±plane
+// neighbours are 8 KB apart, defeating spatial locality in one dimension.
+func buildMgrid() *isa.Program {
+	b := isa.NewBuilder("mgrid")
+	const (
+		grid  = 0x2600000 // 32768 doubles = 256 KB
+		plane = 32 * 32
+		n     = 32 * plane
+	)
+	b.Ldi(isa.R20, grid)
+	b.Ldi(isa.R1, 2)
+	b.Cvtqf(isa.F10, isa.R1)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, plane+33)
+
+	b.Label("cell")
+	b.Slli(isa.R3, isa.R2, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Fldq(isa.F1, isa.R3, 0)
+	b.Fldq(isa.F2, isa.R3, -8)
+	b.Fldq(isa.F3, isa.R3, 8)
+	b.Fldq(isa.F4, isa.R3, -8*32)
+	b.Fldq(isa.F5, isa.R3, 8*32)
+	b.Fldq(isa.F6, isa.R3, -8*plane)
+	b.Fldq(isa.F7, isa.R3, 8*plane)
+	b.Fadd(isa.F8, isa.F2, isa.F3)
+	b.Fadd(isa.F9, isa.F4, isa.F5)
+	b.Fadd(isa.F11, isa.F6, isa.F7)
+	b.Fadd(isa.F8, isa.F8, isa.F9)
+	b.Fadd(isa.F8, isa.F8, isa.F11)
+	b.Fsub(isa.F8, isa.F8, isa.F1)
+	b.Fadd(isa.F8, isa.F8, isa.F10)
+	b.Fstq(isa.F8, isa.R3, 0)
+	// Second, independent cell two elements over.
+	b.Fldq(isa.F12, isa.R3, 16)
+	b.Fldq(isa.F13, isa.R3, 16-8*32)
+	b.Fldq(isa.F14, isa.R3, 16+8*32)
+	b.Fldq(isa.F15, isa.R3, 16-8*plane)
+	b.Fldq(isa.F16, isa.R3, 16+8*plane)
+	b.Fadd(isa.F17, isa.F13, isa.F14)
+	b.Fadd(isa.F18, isa.F15, isa.F16)
+	b.Fadd(isa.F17, isa.F17, isa.F18)
+	b.Fsub(isa.F17, isa.F17, isa.F12)
+	b.Fadd(isa.F17, isa.F17, isa.F10)
+	b.Fstq(isa.F17, isa.R3, 16)
+	b.Addi(isa.R2, isa.R2, 2)
+	b.Cmplti(isa.R4, isa.R2, n-plane-35)
+	b.Bne(isa.R4, "cell")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildApplu runs short blocked solves whose inner recurrences serialise
+// through FDIV — low ILP, latency bound.
+func buildApplu() *isa.Program {
+	b := isa.NewBuilder("applu")
+	const blocks = 0x2800000 // 4096 doubles of block data
+	b.Ldi(isa.R20, blocks)
+	b.Ldi(isa.R1, 7)
+	b.Cvtqf(isa.F10, isa.R1) // 7.0
+	b.Ldi(isa.R1, 3)
+	b.Cvtqf(isa.F11, isa.R1) // 3.0
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 0)
+
+	b.Label("blk")
+	b.Slli(isa.R3, isa.R2, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Fldq(isa.F1, isa.R3, 0)
+	b.Fadd(isa.F1, isa.F1, isa.F10)
+	// Serial divide chain: pivot elimination.
+	b.Fdiv(isa.F2, isa.F11, isa.F1)
+	b.Fadd(isa.F3, isa.F2, isa.F10)
+	b.Fdiv(isa.F4, isa.F3, isa.F1)
+	b.Fmul(isa.F5, isa.F4, isa.F2)
+	b.Fsub(isa.F5, isa.F5, isa.F11)
+	b.Fstq(isa.F5, isa.R3, 0)
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Andi(isa.R2, isa.R2, 4095)
+	b.Bne(isa.R2, "blk")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildApsi mixes integer index arithmetic with FP column updates over a
+// mid-sized working set, with a mostly-predictable mode branch.
+func buildApsi() *isa.Program {
+	b := isa.NewBuilder("apsi")
+	const (
+		field = 0x2a00000 // 8192 doubles = 64 KB
+		cols  = 64
+	)
+	b.Ldi(isa.R20, field)
+	b.Ldi(isa.R1, 161803)
+	b.Ldi(isa.R5, 1)
+	b.Cvtqf(isa.F10, isa.R5)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 2048)
+
+	b.Label("col")
+	lcgStep(b, isa.R1)
+	// Column index: semi-random column, sequential within.
+	b.Andi(isa.R3, isa.R1, cols-1)
+	b.Muli(isa.R3, isa.R3, 128) // column stride in doubles
+	b.Andi(isa.R4, isa.R2, 127)
+	b.Add(isa.R3, isa.R3, isa.R4)
+	b.Slli(isa.R3, isa.R3, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Andi(isa.R3, isa.R3, 0xffffff) // clamp into the region
+	b.Fldq(isa.F1, isa.R3, 0)
+	b.Fadd(isa.F2, isa.F1, isa.F10)
+	// Mode branch: taken for the dominant regime (predictable ~87%).
+	b.Andi(isa.R6, isa.R1, 7)
+	b.Beq(isa.R6, "wet")
+	b.Fmul(isa.F2, isa.F2, isa.F10)
+	b.Br("store")
+	b.Label("wet")
+	b.Fsub(isa.F2, isa.F2, isa.F10)
+	b.Fadd(isa.F2, isa.F2, isa.F2)
+	b.Label("store")
+	b.Fstq(isa.F2, isa.R3, 0)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, "col")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildHydro2d combines a 2D stencil with data-dependent flux-limiter
+// branches (FCMP feeding control flow).
+func buildHydro2d() *isa.Program {
+	b := isa.NewBuilder("hydro2d")
+	const (
+		h   = 0x2c00000 // 16384 doubles
+		row = 128
+		n   = 16384
+	)
+	b.Ldi(isa.R20, h)
+	b.Ldi(isa.R1, 1)
+	b.Cvtqf(isa.F10, isa.R1)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, row)
+
+	b.Label("zone")
+	b.Slli(isa.R3, isa.R2, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Fldq(isa.F1, isa.R3, 0)
+	b.Fldq(isa.F2, isa.R3, -8*row)
+	b.Fsub(isa.F3, isa.F1, isa.F2) // gradient
+	// Limiter: branch on the sign of the gradient (data dependent).
+	b.Fcmplt(isa.F4, isa.F3, isa.F31)
+	b.Ftoi(isa.R4, isa.F4)
+	b.Bne(isa.R4, "negative")
+	b.Fadd(isa.F5, isa.F1, isa.F10)
+	b.Br("update")
+	b.Label("negative")
+	b.Fsub(isa.F5, isa.F1, isa.F3)
+	b.Fadd(isa.F5, isa.F5, isa.F10)
+	b.Label("update")
+	b.Fstq(isa.F5, isa.R3, 0)
+	// Second, independent zone (no limiter: the smooth-flow fast path).
+	b.Fldq(isa.F6, isa.R3, 8)
+	b.Fldq(isa.F7, isa.R3, 8-8*row)
+	b.Fsub(isa.F8, isa.F6, isa.F7)
+	b.Fadd(isa.F9, isa.F6, isa.F8)
+	b.Fadd(isa.F9, isa.F9, isa.F10)
+	b.Fstq(isa.F9, isa.R3, 8)
+	b.Addi(isa.R2, isa.R2, 2)
+	b.Cmplti(isa.R5, isa.R2, n)
+	b.Bne(isa.R5, "zone")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildSu2cor gathers field values through an index array — dependent
+// (load feeding load) accesses over a 512 KB table.
+func buildSu2cor() *isa.Program {
+	b := isa.NewBuilder("su2cor")
+	const (
+		idx   = 0x2e00000 // 8192 indices
+		table = 0x2f00000 // 65536 doubles = 512 KB
+	)
+	b.Ldi(isa.R20, idx)
+	b.Ldi(isa.R21, table)
+	b.Ldi(isa.R1, 888)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 0)
+
+	b.Label("site")
+	b.Slli(isa.R3, isa.R2, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Ldq(isa.R4, isa.R3, 0) // gauge link index (self-building)
+	b.Bne(isa.R4, "haveidx")
+	lcgStep(b, isa.R1)
+	b.Andi(isa.R4, isa.R1, 65535)
+	b.Ori(isa.R4, isa.R4, 1)
+	b.Stq(isa.R4, isa.R3, 0)
+	b.Label("haveidx")
+	b.Slli(isa.R5, isa.R4, 3)
+	b.Add(isa.R5, isa.R5, isa.R21)
+	b.Fldq(isa.F1, isa.R5, 0) // dependent gather
+	b.Fadd(isa.F2, isa.F2, isa.F1)
+	b.Fstq(isa.F2, isa.R5, 0) // scatter back
+	// Second, independent gather through the next index slot.
+	b.Ldq(isa.R6, isa.R3, 8)
+	b.Bne(isa.R6, "haveidx2")
+	lcgStep(b, isa.R1)
+	b.Srli(isa.R6, isa.R1, 5)
+	b.Andi(isa.R6, isa.R6, 65535)
+	b.Ori(isa.R6, isa.R6, 1)
+	b.Stq(isa.R6, isa.R3, 8)
+	b.Label("haveidx2")
+	b.Slli(isa.R7, isa.R6, 3)
+	b.Add(isa.R7, isa.R7, isa.R21)
+	b.Fldq(isa.F3, isa.R7, 0)
+	b.Fadd(isa.F4, isa.F4, isa.F3)
+	b.Fstq(isa.F4, isa.R7, 0)
+	b.Addi(isa.R2, isa.R2, 2)
+	b.Andi(isa.R2, isa.R2, 8191)
+	b.Bne(isa.R2, "site")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildFpppp reproduces fpppp's signature: basic blocks hundreds of
+// instructions long with essentially no branches, dense with FP operations
+// in long dependence chains.
+func buildFpppp() *isa.Program {
+	b := isa.NewBuilder("fpppp")
+	const work = 0x3200000 // 1024 doubles of integral intermediates
+	b.Ldi(isa.R20, work)
+	b.Ldi(isa.R1, 5)
+	b.Cvtqf(isa.F1, isa.R1)
+	b.Ldi(isa.R1, 9)
+	b.Cvtqf(isa.F2, isa.R1)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 0)
+
+	b.Label("integral")
+	b.Slli(isa.R3, isa.R2, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Fldq(isa.F3, isa.R3, 0)
+	b.Fadd(isa.F3, isa.F3, isa.F1)
+	// One enormous straight-line block: six independent dependence chains
+	// interleaved (real fpppp exposes enough ILP to saturate a wide FP
+	// machine), with a cross-mix at the end.
+	chains := []isa.Reg{isa.F4, isa.F5, isa.F6, isa.F7, isa.F8, isa.F9}
+	for _, c := range chains {
+		b.Fadd(c, isa.F3, isa.F2) // seed each chain
+	}
+	for step := 0; step < 12; step++ {
+		for ci, c := range chains {
+			if (step+ci)%2 == 0 {
+				b.Fmul(c, c, isa.F1)
+			} else {
+				b.Fadd(c, c, isa.F2)
+			}
+		}
+	}
+	// Reduce the chains.
+	b.Fadd(isa.F11, isa.F4, isa.F5)
+	b.Fadd(isa.F12, isa.F6, isa.F7)
+	b.Fadd(isa.F13, isa.F8, isa.F9)
+	b.Fadd(isa.F11, isa.F11, isa.F12)
+	b.Fadd(isa.F3, isa.F11, isa.F13)
+	b.Fstq(isa.F3, isa.R3, 0)
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Andi(isa.R2, isa.R2, 1023)
+	b.Bne(isa.R2, "integral")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildTurb3d performs FFT-style butterflies: pairs of elements a
+// power-of-two stride apart are combined and written back.
+func buildTurb3d() *isa.Program {
+	b := isa.NewBuilder("turb3d")
+	const (
+		data = 0x3400000 // 32768 doubles = 256 KB
+		n    = 32768
+	)
+	b.Ldi(isa.R20, data)
+	b.Ldi(isa.R23, 8) // stride in elements, doubles each outer pass
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 0)
+	// stride = stride*2 mod 4096, min 8
+	b.Slli(isa.R23, isa.R23, 1)
+	b.Andi(isa.R23, isa.R23, 4095)
+	b.Ori(isa.R23, isa.R23, 8)
+
+	b.Label("fly")
+	// Two independent butterflies per iteration.
+	b.Slli(isa.R3, isa.R2, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Slli(isa.R4, isa.R23, 3)
+	b.Add(isa.R4, isa.R4, isa.R3) // partner element
+	b.Fldq(isa.F1, isa.R3, 0)
+	b.Fldq(isa.F2, isa.R4, 0)
+	b.Fadd(isa.F3, isa.F1, isa.F2)
+	b.Fsub(isa.F4, isa.F1, isa.F2)
+	b.Fstq(isa.F3, isa.R3, 0)
+	b.Fstq(isa.F4, isa.R4, 0)
+	b.Fldq(isa.F5, isa.R3, 8)
+	b.Fldq(isa.F6, isa.R4, 8)
+	b.Fadd(isa.F7, isa.F5, isa.F6)
+	b.Fsub(isa.F8, isa.F5, isa.F6)
+	b.Fstq(isa.F7, isa.R3, 8)
+	b.Fstq(isa.F8, isa.R4, 8)
+	b.Addi(isa.R2, isa.R2, 2)
+	b.Cmplti(isa.R5, isa.R2, n-4096-10)
+	b.Bne(isa.R5, "fly")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildWave5 is particle-in-cell: per-particle FP update, conversion to a
+// grid index, and a read-modify-write scatter into the grid.
+func buildWave5() *isa.Program {
+	b := isa.NewBuilder("wave5")
+	const (
+		parts = 0x3600000 // 8192 particles * 16 B (pos, vel)
+		grid  = 0x3700000 // 16384 doubles
+	)
+	b.Ldi(isa.R20, parts)
+	b.Ldi(isa.R21, grid)
+	b.Ldi(isa.R1, 1)
+	b.Cvtqf(isa.F10, isa.R1) // dt = 1.0
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 0)
+
+	b.Label("particle")
+	// Two independent particles per iteration.
+	b.Slli(isa.R3, isa.R2, 4)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Fldq(isa.F1, isa.R3, 0) // position
+	b.Fldq(isa.F2, isa.R3, 8) // velocity
+	b.Fadd(isa.F2, isa.F2, isa.F10)
+	b.Fadd(isa.F1, isa.F1, isa.F2) // pos += vel*dt
+	b.Fstq(isa.F1, isa.R3, 0)
+	b.Fstq(isa.F2, isa.R3, 8)
+	b.Fldq(isa.F4, isa.R3, 16)
+	b.Fldq(isa.F5, isa.R3, 24)
+	b.Fadd(isa.F5, isa.F5, isa.F10)
+	b.Fadd(isa.F4, isa.F4, isa.F5)
+	b.Fstq(isa.F4, isa.R3, 16)
+	b.Fstq(isa.F5, isa.R3, 24)
+	// Grid deposits: indices from the positions (scatter).
+	b.Cvtfq(isa.R4, isa.F1)
+	b.Andi(isa.R4, isa.R4, 16383)
+	b.Slli(isa.R4, isa.R4, 3)
+	b.Add(isa.R4, isa.R4, isa.R21)
+	b.Fldq(isa.F3, isa.R4, 0)
+	b.Fadd(isa.F3, isa.F3, isa.F10)
+	b.Fstq(isa.F3, isa.R4, 0)
+	b.Cvtfq(isa.R5, isa.F4)
+	b.Andi(isa.R5, isa.R5, 16383)
+	b.Slli(isa.R5, isa.R5, 3)
+	b.Add(isa.R5, isa.R5, isa.R21)
+	b.Fldq(isa.F6, isa.R5, 0)
+	b.Fadd(isa.F6, isa.F6, isa.F10)
+	b.Fstq(isa.F6, isa.R5, 0)
+	b.Addi(isa.R2, isa.R2, 2)
+	b.Andi(isa.R2, isa.R2, 8191)
+	b.Bne(isa.R2, "particle")
+	b.Br("outer")
+	return b.MustFinish()
+}

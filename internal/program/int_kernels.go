@@ -1,0 +1,607 @@
+package program
+
+import "repro/internal/isa"
+
+// The integer suite. Register conventions within each kernel are local;
+// R26 is the call link register by convention, R31 the hardwired zero.
+//
+// Kernels self-initialise their data structures lazily (a zero read means
+// "not built yet"), so short budgeted runs measure steady-state behaviour
+// rather than an initialisation phase.
+
+func init() {
+	register("gcc", "int",
+		"compiler: hash-table symbol lookups, jump-table dispatch, calls, branchy",
+		buildGCC)
+	register("go", "int",
+		"game AI: data-dependent unpredictable branches, small footprint",
+		buildGo)
+	register("compress", "int",
+		"LZ compressor: byte loads/stores, sliding window, hash chains",
+		buildCompress)
+	register("li", "int",
+		"lisp interpreter: linked-list pointer chasing, recursion",
+		buildLi)
+	register("ijpeg", "int",
+		"image codec: dense multiply-accumulate loops, predictable branches",
+		buildIjpeg)
+	register("perl", "int",
+		"script interpreter: string hashing, indirect dispatch",
+		buildPerl)
+	register("m88ksim", "int",
+		"CPU simulator: decode/dispatch loop over a synthetic guest program",
+		buildM88ksim)
+	register("vortex", "int",
+		"OO database: large-footprint record traversal, store-heavy",
+		buildVortex)
+}
+
+// buildGCC models a compiler's symbol-table behaviour: LCG-driven keys
+// probe a 256 KB open-addressed hash table, a jump table dispatches on the
+// token class, and a helper function is called on collisions.
+func buildGCC() *isa.Program {
+	b := isa.NewBuilder("gcc")
+	const (
+		tableBase = 0x100000 // 32768 entries * 8 B = 256 KB
+		tableMask = 32767
+		jtBase    = 0x80000
+	)
+	b.Ldi(isa.R20, tableBase)
+	b.Ldi(isa.R21, jtBase)
+	b.Ldi(isa.R1, 12345) // LCG state
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 512) // tokens per outer iteration
+
+	b.Label("token")
+	lcgStep(b, isa.R1)
+	// Probe the symbol table (high LCG bits: the low bits of an LCG have
+	// short periods and would make the access pattern trivially regular).
+	b.Srli(isa.R3, isa.R1, 9)
+	b.Andi(isa.R3, isa.R3, tableMask)
+	b.Slli(isa.R3, isa.R3, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Ldq(isa.R4, isa.R3, 0)
+	b.Bne(isa.R4, "hit")
+	b.Stq(isa.R1, isa.R3, 0) // insert
+	b.Br("dispatch")
+	b.Label("hit")
+	// Collision check: equal keys update in place, others chain to a
+	// helper that rehashes (call-heavy path).
+	b.Cmpeq(isa.R5, isa.R4, isa.R1)
+	b.Bne(isa.R5, "dispatch")
+	b.Jsr(isa.R26, "rehash")
+
+	b.Label("dispatch")
+	// Per-token expression work: straight-line hashing with real ILP
+	// (real gcc spends most instructions between branches, not on them).
+	b.Srli(isa.R14, isa.R1, 3)
+	b.Xor(isa.R15, isa.R14, isa.R10)
+	b.Slli(isa.R16, isa.R14, 2)
+	b.Add(isa.R16, isa.R16, isa.R15)
+	b.Srli(isa.R17, isa.R16, 5)
+	b.Xor(isa.R10, isa.R17, isa.R16)
+	b.Add(isa.R18, isa.R15, isa.R17)
+	b.Andi(isa.R18, isa.R18, 0xfffff)
+	// Token-class dispatch through a jump table (indirect jump) on every
+	// fourth token only — indirect jumps are a minority of control flow.
+	b.Andi(isa.R6, isa.R2, 3)
+	b.Bne(isa.R6, "join")
+	b.Srli(isa.R6, isa.R1, 16)
+	b.Andi(isa.R6, isa.R6, 7)
+	b.Slli(isa.R6, isa.R6, 3)
+	b.Add(isa.R6, isa.R6, isa.R21)
+	b.Ldq(isa.R6, isa.R6, 0)
+	b.Jmp(isa.R31, isa.R6)
+	for i := 0; i < 8; i++ {
+		b.Label(jtLabel("gcc_arm", i))
+		switch i % 4 {
+		case 0:
+			b.Add(isa.R10, isa.R10, isa.R1)
+			b.Xori(isa.R10, isa.R10, 0x55)
+		case 1:
+			b.Srli(isa.R11, isa.R1, 7)
+			b.Add(isa.R10, isa.R10, isa.R11)
+		case 2:
+			b.Mul(isa.R12, isa.R1, isa.R10)
+			b.Andi(isa.R12, isa.R12, 0xffff)
+		case 3:
+			b.Sub(isa.R10, isa.R10, isa.R1)
+		}
+		b.Br("join")
+	}
+	b.Label("join")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, "token")
+	b.Br("outer")
+
+	// rehash: secondary probe and store (exercises store traffic and a
+	// short call/return).
+	b.Label("rehash")
+	b.Slli(isa.R7, isa.R1, 1)
+	b.Xor(isa.R7, isa.R7, isa.R4)
+	b.Andi(isa.R7, isa.R7, tableMask)
+	b.Slli(isa.R7, isa.R7, 3)
+	b.Add(isa.R7, isa.R7, isa.R20)
+	b.Stq(isa.R1, isa.R7, 0)
+	b.Ret(isa.R26)
+
+	arms := make([]string, 8)
+	for i := range arms {
+		arms[i] = jtLabel("gcc_arm", i)
+	}
+	b.InitDataLabelTable(jtBase, arms...)
+	return b.MustFinish()
+}
+
+func jtLabel(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// buildGo models the SPEC go program: long chains of data-dependent
+// conditionals on effectively random values — the branch predictor's worst
+// case — over a small board-sized footprint.
+func buildGo() *isa.Program {
+	b := isa.NewBuilder("go")
+	const boardBase = 0x40000 // 8 KB board
+	b.Ldi(isa.R20, boardBase)
+	b.Ldi(isa.R1, 987654321)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 1024)
+
+	b.Label("move")
+	lcgStep(b, isa.R1)
+	// Position-evaluation arithmetic between branches (ILP carrier).
+	b.Srli(isa.R13, isa.R1, 4)
+	b.Xor(isa.R14, isa.R13, isa.R10)
+	b.Slli(isa.R15, isa.R13, 3)
+	b.Add(isa.R15, isa.R15, isa.R14)
+	b.Srli(isa.R16, isa.R15, 7)
+	b.Add(isa.R10, isa.R16, isa.R14)
+	// One genuinely unpredictable branch (high LCG bit: the low bits of an
+	// LCG alternate with short periods and would be trivially predictable)
+	// and one biased 3-in-4 branch per move.
+	b.Srli(isa.R3, isa.R1, 13)
+	b.Andi(isa.R3, isa.R3, 1)
+	b.Beq(isa.R3, "left")
+	b.Addi(isa.R10, isa.R10, 3)
+	b.Br("biased")
+	b.Label("left")
+	b.Xori(isa.R10, isa.R10, 0x3c)
+	b.Label("biased")
+	b.Srli(isa.R4, isa.R1, 19)
+	b.Andi(isa.R4, isa.R4, 3)
+	b.Beq(isa.R4, "rare") // ~25% taken
+	b.Addi(isa.R11, isa.R11, 1)
+	b.Br("evaluate")
+	b.Label("rare")
+	b.Slli(isa.R5, isa.R10, 1)
+	b.Sub(isa.R10, isa.R5, isa.R10)
+
+	b.Label("evaluate")
+	// Board read-modify-write at an unpredictable position.
+	b.Srli(isa.R6, isa.R1, 7)
+	b.Andi(isa.R6, isa.R6, 1023)
+	b.Slli(isa.R6, isa.R6, 3)
+	b.Add(isa.R6, isa.R6, isa.R20)
+	b.Ldq(isa.R7, isa.R6, 0)
+	b.Add(isa.R7, isa.R7, isa.R10)
+	b.Stq(isa.R7, isa.R6, 0)
+	// Liberties check: another unpredictable branch on loaded data.
+	b.Srli(isa.R8, isa.R1, 24)
+	b.Xor(isa.R8, isa.R8, isa.R7)
+	b.Andi(isa.R8, isa.R8, 8)
+	b.Beq(isa.R8, "skip")
+	b.Addi(isa.R11, isa.R11, 1)
+	b.Label("skip")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, "move")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildCompress models compress95: byte-granularity sliding-window
+// processing with a hash table of recent positions — many LDB/STB (the
+// partial-forwarding pattern) and short data-dependent branches.
+func buildCompress() *isa.Program {
+	b := isa.NewBuilder("compress")
+	const (
+		window = 0x200000 // 64 KB byte window
+		htab   = 0x300000 // 8192 entries * 8 B
+	)
+	b.Ldi(isa.R20, window)
+	b.Ldi(isa.R21, htab)
+	b.Ldi(isa.R1, 31415926)
+	b.Ldi(isa.R9, 0) // position
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 2048)
+
+	b.Label("byte")
+	// One LCG step yields two bytes (distinct bit fields), processed as
+	// two mostly-independent strands: the serial recurrence is hoisted off
+	// the critical path of the byte work.
+	lcgStep(b, isa.R1)
+	b.Andi(isa.R9, isa.R9, 0xfffe)
+	b.Add(isa.R4, isa.R20, isa.R9)
+	// Strand A.
+	b.Srli(isa.R3, isa.R1, 8)
+	b.Andi(isa.R3, isa.R3, 0xff)
+	b.Stb(isa.R3, isa.R4, 0)
+	b.Ldb(isa.R5, isa.R4, 0)
+	b.Slli(isa.R6, isa.R10, 5)
+	b.Xor(isa.R6, isa.R6, isa.R5)
+	b.Andi(isa.R10, isa.R6, 8191)
+	b.Slli(isa.R6, isa.R10, 3)
+	b.Add(isa.R6, isa.R6, isa.R21)
+	b.Ldq(isa.R7, isa.R6, 0)
+	b.Stq(isa.R9, isa.R6, 0)
+	// Strand B (independent hash state in R12).
+	b.Srli(isa.R13, isa.R1, 18)
+	b.Andi(isa.R13, isa.R13, 0xff)
+	b.Stb(isa.R13, isa.R4, 1)
+	b.Ldb(isa.R14, isa.R4, 1)
+	b.Slli(isa.R15, isa.R12, 5)
+	b.Xor(isa.R15, isa.R15, isa.R14)
+	b.Andi(isa.R12, isa.R15, 8191)
+	b.Slli(isa.R15, isa.R12, 3)
+	b.Add(isa.R15, isa.R15, isa.R21)
+	b.Ldq(isa.R16, isa.R15, 0)
+	b.Stq(isa.R9, isa.R15, 0)
+	// Match test: distance-dependent branch.
+	b.Sub(isa.R8, isa.R9, isa.R7)
+	b.Andi(isa.R8, isa.R8, 0xff00)
+	b.Bne(isa.R8, "nomatch")
+	b.Add(isa.R11, isa.R11, isa.R16) // match length bookkeeping
+	b.Label("nomatch")
+	b.Addi(isa.R9, isa.R9, 2)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, "byte")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildLi models xlisp: cons-cell pointer chasing with self-building list
+// structure (a nil next pointer is allocated on first touch) and short
+// recursive evaluation.
+func buildLi() *isa.Program {
+	b := isa.NewBuilder("li")
+	const (
+		heap  = 0x400000 // 16384 cells * 16 B = 256 KB
+		cells = 16384
+	)
+	b.Ldi(isa.R20, heap)
+	b.Ldi(isa.R1, 0)    // current cell index
+	b.Ldi(isa.R13, 777) // LCG for allocation
+	b.Ldi(isa.R14, 0)   // accumulated value
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 512)
+
+	b.Label("chase")
+	// Two independent chase chains (two live lists), doubling memory-level
+	// parallelism while each chain stays serially dependent.
+	// Chain 1: cell address = heap + idx*16.
+	b.Slli(isa.R3, isa.R1, 4)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Ldq(isa.R4, isa.R3, 0) // car (value)
+	b.Add(isa.R14, isa.R14, isa.R4)
+	b.Ldq(isa.R5, isa.R3, 8) // cdr (next index+1, 0 = unbuilt)
+	b.Bne(isa.R5, "linked")
+	// Build the link lazily: pseudo-random successor.
+	lcgStep(b, isa.R13)
+	b.Srli(isa.R5, isa.R13, 7)
+	b.Andi(isa.R5, isa.R5, cells-1)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Stq(isa.R5, isa.R3, 8)
+	b.Stq(isa.R13, isa.R3, 0)
+	b.Label("linked")
+	b.Addi(isa.R1, isa.R5, -1)
+	b.Andi(isa.R1, isa.R1, cells-1)
+	// Chain 2 (index in R9, offset half the heap away).
+	b.Slli(isa.R7, isa.R9, 4)
+	b.Add(isa.R7, isa.R7, isa.R20)
+	b.Ldq(isa.R8, isa.R7, 0)
+	b.Add(isa.R14, isa.R14, isa.R8)
+	b.Ldq(isa.R10, isa.R7, 8)
+	b.Bne(isa.R10, "linked2")
+	lcgStep(b, isa.R13)
+	b.Srli(isa.R10, isa.R13, 11)
+	b.Andi(isa.R10, isa.R10, cells-1)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Stq(isa.R10, isa.R7, 8)
+	b.Label("linked2")
+	b.Addi(isa.R9, isa.R10, 4095)
+	b.Andi(isa.R9, isa.R9, cells-1)
+	// Write back the evaluation result (the interpreter's heap mutation),
+	// so the kernel has a steady-state output stream for the comparator.
+	b.Slli(isa.R11, isa.R2, 3)
+	b.Addi(isa.R11, isa.R11, 0x500000)
+	b.Stq(isa.R14, isa.R11, 0)
+	// Every 64th cell, recursively evaluate (3-deep call chain).
+	b.Andi(isa.R6, isa.R2, 63)
+	b.Bne(isa.R6, "nocall")
+	b.Jsr(isa.R26, "eval1")
+	b.Label("nocall")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, "chase")
+	b.Br("outer")
+
+	b.Label("eval1")
+	b.Add(isa.R15, isa.R14, isa.R1)
+	b.Jsr(isa.R25, "eval2")
+	b.Ret(isa.R26)
+	b.Label("eval2")
+	b.Xori(isa.R15, isa.R15, 0x1f)
+	b.Jsr(isa.R24, "eval3")
+	b.Ret(isa.R25)
+	b.Label("eval3")
+	b.Addi(isa.R15, isa.R15, 9)
+	b.Ret(isa.R24)
+	return b.MustFinish()
+}
+
+// buildIjpeg models ijpeg: dense multiply-accumulate sweeps over an image
+// with highly predictable control flow.
+func buildIjpeg() *isa.Program {
+	b := isa.NewBuilder("ijpeg")
+	const (
+		src = 0x500000 // 64 KB image
+		dst = 0x520000
+	)
+	b.Ldi(isa.R20, src)
+	b.Ldi(isa.R21, dst)
+	b.Ldi(isa.R1, 5551212)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 0) // pixel index
+
+	b.Label("block")
+	// Straight-line 8-tap multiply-accumulate with two independent
+	// accumulators — the dense, branch-free ILP of DCT inner loops.
+	b.Add(isa.R4, isa.R20, isa.R2)
+	b.Ldb(isa.R5, isa.R4, 0)
+	// Seed the first pixel of an untouched block so the image becomes
+	// non-trivial as the run proceeds.
+	b.Bne(isa.R5, "seeded")
+	lcgStep(b, isa.R1)
+	b.Andi(isa.R5, isa.R1, 0xff)
+	b.Stb(isa.R5, isa.R4, 0)
+	b.Label("seeded")
+	b.Muli(isa.R10, isa.R5, 8)
+	b.Ldi(isa.R11, 0)
+	for tap := int64(1); tap < 8; tap++ {
+		dst := isa.R10
+		if tap%2 == 1 {
+			dst = isa.R11
+		}
+		b.Ldb(isa.R6, isa.R4, tap)
+		b.Muli(isa.R6, isa.R6, 8-tap)
+		b.Add(dst, dst, isa.R6)
+	}
+	b.Add(isa.R10, isa.R10, isa.R11)
+	b.Addi(isa.R2, isa.R2, 8)
+	// Emit the transformed block byte.
+	b.Srli(isa.R7, isa.R2, 3)
+	b.Andi(isa.R7, isa.R7, 0x1fff)
+	b.Add(isa.R7, isa.R7, isa.R21)
+	b.Stb(isa.R10, isa.R7, 0)
+	b.Andi(isa.R2, isa.R2, 0xffff)
+	b.Bne(isa.R2, "block")
+	b.Br("outer")
+	return b.MustFinish()
+}
+
+// buildPerl models perl: byte-string hashing with an interpreter-style
+// indirect dispatch and associative-array updates.
+func buildPerl() *isa.Program {
+	b := isa.NewBuilder("perl")
+	const (
+		text = 0x600000 // 32 KB text
+		hash = 0x610000 // 4096 * 8 B associative array
+		jt   = 0x620000
+	)
+	b.Ldi(isa.R20, text)
+	b.Ldi(isa.R21, hash)
+	b.Ldi(isa.R22, jt)
+	b.Ldi(isa.R1, 271828)
+	b.Ldi(isa.R9, 0) // text cursor
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 256) // words per iteration
+
+	b.Label("word")
+	b.Ldi(isa.R10, 5381) // djb2 seed
+	b.Ldi(isa.R3, 12)    // 12-byte word, predictable inner loop
+	b.Label("chr")
+	b.Andi(isa.R9, isa.R9, 0x7fff)
+	b.Add(isa.R4, isa.R20, isa.R9)
+	b.Ldb(isa.R5, isa.R4, 0)
+	b.Bne(isa.R5, "have")
+	lcgStep(b, isa.R1)
+	b.Andi(isa.R5, isa.R1, 0x7f)
+	b.Ori(isa.R5, isa.R5, 1)
+	b.Stb(isa.R5, isa.R4, 0)
+	b.Label("have")
+	b.Slli(isa.R6, isa.R10, 5)
+	b.Add(isa.R10, isa.R6, isa.R10)
+	b.Add(isa.R10, isa.R10, isa.R5)
+	b.Addi(isa.R9, isa.R9, 1)
+	b.Addi(isa.R3, isa.R3, -1)
+	b.Bne(isa.R3, "chr")
+	// Opcode dispatch on hash bits.
+	b.Andi(isa.R7, isa.R10, 3)
+	b.Slli(isa.R7, isa.R7, 3)
+	b.Add(isa.R7, isa.R7, isa.R22)
+	b.Ldq(isa.R7, isa.R7, 0)
+	b.Jmp(isa.R31, isa.R7)
+	for i := 0; i < 4; i++ {
+		b.Label(jtLabel("perl_op", i))
+		switch i {
+		case 0: // %h{$k}++
+			b.Andi(isa.R8, isa.R10, 4095)
+			b.Slli(isa.R8, isa.R8, 3)
+			b.Add(isa.R8, isa.R8, isa.R21)
+			b.Ldq(isa.R11, isa.R8, 0)
+			b.Addi(isa.R11, isa.R11, 1)
+			b.Stq(isa.R11, isa.R8, 0)
+		case 1: // string length bookkeeping
+			b.Add(isa.R12, isa.R12, isa.R3)
+			b.Addi(isa.R12, isa.R12, 12)
+		case 2: // pattern test
+			b.Andi(isa.R13, isa.R10, 0xff)
+			b.Cmplti(isa.R13, isa.R13, 0x80)
+			b.Add(isa.R12, isa.R12, isa.R13)
+		case 3: // join/concat cost model
+			b.Slli(isa.R14, isa.R12, 1)
+			b.Xor(isa.R12, isa.R14, isa.R10)
+			b.Andi(isa.R12, isa.R12, 0xffffff)
+		}
+		b.Br("wjoin")
+	}
+	b.Label("wjoin")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, "word")
+	b.Br("outer")
+
+	arms := make([]string, 4)
+	for i := range arms {
+		arms[i] = jtLabel("perl_op", i)
+	}
+	b.InitDataLabelTable(jt, arms...)
+	return b.MustFinish()
+}
+
+// buildM88ksim models m88ksim: a fetch/decode/dispatch interpreter loop
+// over a self-generating guest instruction stream, with a hot simulated
+// register file in memory.
+func buildM88ksim() *isa.Program {
+	b := isa.NewBuilder("m88ksim")
+	const (
+		guest = 0x700000 // 4096 guest words
+		regs  = 0x710000 // 16 simulated registers
+		jt    = 0x720000
+	)
+	b.Ldi(isa.R20, guest)
+	b.Ldi(isa.R21, regs)
+	b.Ldi(isa.R22, jt)
+	b.Ldi(isa.R1, 1234567)
+	b.Ldi(isa.R9, 0) // guest PC
+
+	b.Label("cycle")
+	// Guest fetch (self-generating program memory).
+	b.Andi(isa.R9, isa.R9, 4095)
+	b.Slli(isa.R3, isa.R9, 3)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Ldq(isa.R4, isa.R3, 0)
+	b.Bne(isa.R4, "decoded")
+	lcgStep(b, isa.R1)
+	b.Ori(isa.R4, isa.R1, 1)
+	b.Stq(isa.R4, isa.R3, 0)
+	b.Label("decoded")
+	// Decode: opcode = bits 0..2, operand regs = bits 3..6 / 7..10.
+	b.Andi(isa.R5, isa.R4, 7)
+	b.Slli(isa.R5, isa.R5, 3)
+	b.Add(isa.R5, isa.R5, isa.R22)
+	b.Ldq(isa.R5, isa.R5, 0)
+	b.Srli(isa.R6, isa.R4, 3)
+	b.Andi(isa.R6, isa.R6, 15)
+	b.Slli(isa.R6, isa.R6, 3)
+	b.Add(isa.R6, isa.R6, isa.R21) // &sim_reg[a]
+	b.Srli(isa.R7, isa.R4, 7)
+	b.Andi(isa.R7, isa.R7, 15)
+	b.Slli(isa.R7, isa.R7, 3)
+	b.Add(isa.R7, isa.R7, isa.R21) // &sim_reg[b]
+	b.Jmp(isa.R31, isa.R5)
+	for i := 0; i < 8; i++ {
+		b.Label(jtLabel("m88k_op", i))
+		b.Ldq(isa.R10, isa.R6, 0)
+		b.Ldq(isa.R11, isa.R7, 0)
+		switch i % 4 {
+		case 0:
+			b.Add(isa.R10, isa.R10, isa.R11)
+		case 1:
+			b.Xor(isa.R10, isa.R10, isa.R11)
+		case 2:
+			b.Sub(isa.R10, isa.R10, isa.R11)
+		case 3:
+			b.Srli(isa.R10, isa.R10, 1)
+			b.Add(isa.R10, isa.R10, isa.R11)
+		}
+		b.Stq(isa.R10, isa.R6, 0)
+		if i >= 6 {
+			// Guest branch: data-dependent target perturbation.
+			b.Andi(isa.R12, isa.R10, 31)
+			b.Add(isa.R9, isa.R9, isa.R12)
+		}
+		b.Br("next")
+	}
+	b.Label("next")
+	b.Addi(isa.R9, isa.R9, 1)
+	b.Br("cycle")
+
+	arms := make([]string, 8)
+	for i := range arms {
+		arms[i] = jtLabel("m88k_op", i)
+	}
+	b.InitDataLabelTable(jt, arms...)
+	return b.MustFinish()
+}
+
+// buildVortex models vortex: an object database with a footprint beyond the
+// L2, record field reads/updates, and a secondary index — load/store heavy
+// with long-latency misses.
+func buildVortex() *isa.Program {
+	b := isa.NewBuilder("vortex")
+	const (
+		db      = 0x1000000 // 65536 records * 64 B = 4 MB (beyond the 3 MB L2)
+		records = 65536
+		index   = 0x1800000 // 8192 * 8 B secondary index
+	)
+	b.Ldi(isa.R20, db)
+	b.Ldi(isa.R21, index)
+	b.Ldi(isa.R1, 424242)
+
+	b.Label("outer")
+	b.Ldi(isa.R2, 256)
+
+	b.Label("txn")
+	lcgStep(b, isa.R1)
+	// Two independent record streams per transaction (join-style access):
+	// doubled memory-level parallelism over the big table.
+	b.Srli(isa.R3, isa.R1, 6)
+	b.Andi(isa.R3, isa.R3, records-1)
+	b.Slli(isa.R3, isa.R3, 6)
+	b.Add(isa.R3, isa.R3, isa.R20)
+	b.Srli(isa.R13, isa.R1, 14)
+	b.Andi(isa.R13, isa.R13, records-1)
+	b.Slli(isa.R13, isa.R13, 6)
+	b.Add(isa.R13, isa.R13, isa.R20)
+	// Read three fields of each, update one of each.
+	b.Ldq(isa.R4, isa.R3, 0)
+	b.Ldq(isa.R5, isa.R3, 16)
+	b.Ldq(isa.R6, isa.R3, 40)
+	b.Ldq(isa.R14, isa.R13, 8)
+	b.Ldq(isa.R15, isa.R13, 32)
+	b.Add(isa.R7, isa.R4, isa.R5)
+	b.Xor(isa.R7, isa.R7, isa.R6)
+	b.Addi(isa.R7, isa.R7, 1)
+	b.Stq(isa.R7, isa.R3, 24)
+	b.Add(isa.R16, isa.R14, isa.R15)
+	b.Stq(isa.R16, isa.R13, 48)
+	// Secondary index insert on a subset of transactions.
+	b.Srli(isa.R8, isa.R1, 20)
+	b.Andi(isa.R8, isa.R8, 3)
+	b.Bne(isa.R8, "commit")
+	b.Srli(isa.R9, isa.R1, 8)
+	b.Andi(isa.R9, isa.R9, 8191)
+	b.Slli(isa.R9, isa.R9, 3)
+	b.Add(isa.R9, isa.R9, isa.R21)
+	b.Stq(isa.R3, isa.R9, 0)
+	b.Label("commit")
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Bne(isa.R2, "txn")
+	b.Br("outer")
+	return b.MustFinish()
+}

@@ -1,0 +1,142 @@
+// Package program provides the workload suite: eighteen kernels named after
+// the SPEC CPU95 benchmarks the paper evaluates with. SPEC CPU95 binaries
+// (and the Alpha toolchain to build them) are not available here, so each
+// kernel is a from-scratch program in the simulator's ISA engineered to the
+// published microarchitectural character of its namesake — branch behaviour,
+// cache footprint, pointer-chasing depth, FP dependence-chain length,
+// load/store mix. The substitution is documented in DESIGN.md: the paper's
+// results depend on this character, not on SPEC program semantics, and these
+// are real programs executed redundantly, so output comparison and fault
+// injection are exercised for real.
+//
+// Every kernel is an infinite loop (runs are bounded by committed-instruction
+// budgets), deterministic, and self-initialising: the first outer iteration
+// writes its data structures, subsequent iterations read them.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Info pairs a kernel with a short description of the behaviour it models.
+type Info struct {
+	Name string
+	// Suite is "int" or "fp".
+	Suite string
+	// Description states the microarchitectural character.
+	Description string
+	Build       func() *isa.Program
+}
+
+var registry = map[string]Info{}
+
+func register(name, suite, desc string, build func() *isa.Program) {
+	if _, dup := registry[name]; dup {
+		panic("program: duplicate kernel " + name)
+	}
+	registry[name] = Info{Name: name, Suite: suite, Description: desc, Build: build}
+}
+
+// Names returns all kernel names, sorted (the paper's 18 SPEC CPU95
+// programs).
+func Names() []string {
+	ns := make([]string, 0, len(registry))
+	for n := range registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// IntNames returns the integer-suite kernels, sorted.
+func IntNames() []string { return suiteNames("int") }
+
+// FPNames returns the FP-suite kernels, sorted.
+func FPNames() []string { return suiteNames("fp") }
+
+func suiteNames(suite string) []string {
+	var ns []string
+	for n, i := range registry {
+		if i.Suite == suite {
+			ns = append(ns, n)
+		}
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Get returns the Info for a kernel.
+func Get(name string) (Info, error) {
+	i, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("program: unknown kernel %q (have %v)", name, Names())
+	}
+	return i, nil
+}
+
+// Build assembles a kernel by name.
+func Build(name string) (*isa.Program, error) {
+	i, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return i.Build(), nil
+}
+
+// MustBuild assembles a kernel, panicking on unknown names (for use with the
+// static names in benches and examples).
+func MustBuild(name string) *isa.Program {
+	p, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MultiprogramPairs returns the paper's two-program combinations: the six
+// pairs drawn from {gcc, go, fpppp, swim} (§6.2).
+func MultiprogramPairs() [][2]string {
+	base := []string{"gcc", "go", "fpppp", "swim"}
+	var pairs [][2]string
+	for i := 0; i < len(base); i++ {
+		for j := i + 1; j < len(base); j++ {
+			pairs = append(pairs, [2]string{base[i], base[j]})
+		}
+	}
+	return pairs
+}
+
+// FourProgramCombos returns the paper's four-program combinations drawn
+// from {gcc, go, ijpeg, fpppp, swim} (§6.2 names five programs; choosing
+// four gives five distinct combinations — DESIGN.md notes the discrepancy
+// with the paper's "15").
+func FourProgramCombos() [][4]string {
+	base := []string{"gcc", "go", "ijpeg", "fpppp", "swim"}
+	var combos [][4]string
+	for skip := range base {
+		var c [4]string
+		k := 0
+		for i, n := range base {
+			if i == skip {
+				continue
+			}
+			c[k] = n
+			k++
+		}
+		combos = append(combos, c)
+	}
+	return combos
+}
+
+// --- shared builder idioms ---
+
+// lcgStep emits r = (r*1103515245 + 12345) & 0x3fffffff — the classic C
+// rand() recurrence, the kernels' deterministic pseudo-randomness source.
+func lcgStep(b *isa.Builder, r isa.Reg) {
+	b.Muli(r, r, 1103515245)
+	b.Addi(r, r, 12345)
+	b.Andi(r, r, 0x3fffffff)
+}

@@ -1,0 +1,167 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// TestAllKernelsBuildAndValidate assembles every kernel.
+func TestAllKernelsBuildAndValidate(t *testing.T) {
+	if len(Names()) != 18 {
+		t.Fatalf("expected 18 kernels (the SPEC CPU95 suite), have %d: %v", len(Names()), Names())
+	}
+	for _, name := range Names() {
+		p, err := Build(name)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestSuiteSplit checks the int/fp partition matches SPEC CPU95 (8 int, 10 fp).
+func TestSuiteSplit(t *testing.T) {
+	if n := len(IntNames()); n != 8 {
+		t.Errorf("int suite has %d kernels, want 8: %v", n, IntNames())
+	}
+	if n := len(FPNames()); n != 10 {
+		t.Errorf("fp suite has %d kernels, want 10: %v", n, FPNames())
+	}
+}
+
+// TestKernelsRunForever executes each kernel functionally for 50k
+// instructions: no HALT, no PC escape, no panic.
+func TestKernelsRunForever(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := MustBuild(name)
+			mem := vm.NewMemory()
+			vm.Load(p, mem)
+			th := vm.NewThread(0, p, mem)
+			if n := th.Run(50000); n != 50000 {
+				t.Fatalf("%s halted after %d instructions", name, n)
+			}
+		})
+	}
+}
+
+// TestKernelsAreDeterministic runs each kernel twice and compares the full
+// store stream — the redundant-execution invariant every RMT experiment
+// rests on.
+func TestKernelsAreDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			stores := func() []vm.Outcome {
+				p := MustBuild(name)
+				mem := vm.NewMemory()
+				vm.Load(p, mem)
+				th := vm.NewThread(0, p, mem)
+				var ss []vm.Outcome
+				for i := 0; i < 30000; i++ {
+					out := th.Step()
+					if out.IsStore() {
+						out.Instr = isa.Instr{} // compare addr/val/size only
+						ss = append(ss, out)
+					}
+				}
+				return ss
+			}
+			a, b := stores(), stores()
+			if len(a) != len(b) || len(a) == 0 {
+				t.Fatalf("store streams differ in length: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Addr != b[i].Addr || a[i].Value != b[i].Value || a[i].Size != b[i].Size {
+					t.Fatalf("store %d differs: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsExerciseStores verifies every kernel emits output (stores) —
+// a kernel without stores would be invisible to RMT output comparison.
+func TestKernelsExerciseStores(t *testing.T) {
+	for _, name := range Names() {
+		p := MustBuild(name)
+		mem := vm.NewMemory()
+		vm.Load(p, mem)
+		th := vm.NewThread(0, p, mem)
+		stores := 0
+		for i := 0; i < 20000; i++ {
+			if out := th.Step(); out.IsStore() {
+				stores++
+			}
+		}
+		if stores == 0 {
+			t.Errorf("%s: no stores in 20k instructions", name)
+		}
+		frac := float64(stores) / 20000
+		if frac > 0.5 {
+			t.Errorf("%s: implausible store fraction %.2f", name, frac)
+		}
+	}
+}
+
+// TestMultiprogramSets checks the paper's workload combinations.
+func TestMultiprogramSets(t *testing.T) {
+	pairs := MultiprogramPairs()
+	if len(pairs) != 6 {
+		t.Fatalf("want 6 two-program pairs, got %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if _, err := Get(p[0]); err != nil {
+			t.Error(err)
+		}
+		if _, err := Get(p[1]); err != nil {
+			t.Error(err)
+		}
+	}
+	combos := FourProgramCombos()
+	if len(combos) != 5 {
+		t.Fatalf("want 5 four-program combos, got %d", len(combos))
+	}
+	for _, c := range combos {
+		seen := map[string]bool{}
+		for _, n := range c {
+			if seen[n] {
+				t.Errorf("combo %v repeats %s", c, n)
+			}
+			seen[n] = true
+			if _, err := Get(n); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+// TestKernelBranchMix sanity-checks that the suite spans a range of branch
+// densities (branchy integer codes vs straight-line FP codes).
+func TestKernelBranchMix(t *testing.T) {
+	density := func(name string) float64 {
+		p := MustBuild(name)
+		mem := vm.NewMemory()
+		vm.Load(p, mem)
+		th := vm.NewThread(0, p, mem)
+		branches := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if out := th.Step(); out.Instr.IsBranch() {
+				branches++
+			}
+		}
+		return float64(branches) / n
+	}
+	if d := density("go"); d < 0.10 {
+		t.Errorf("go branch density %.3f, want >= 0.10 (branchy integer code)", d)
+	}
+	if d := density("fpppp"); d > 0.05 {
+		t.Errorf("fpppp branch density %.3f, want <= 0.05 (huge basic blocks)", d)
+	}
+}

@@ -1,0 +1,420 @@
+package rmt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// --- LVQ ---
+
+func TestLVQPushLookup(t *testing.T) {
+	q := NewLVQ(4)
+	q.Push(LVQEntry{Tag: 1, Addr: 0x100, Size: 8, Value: 42, ReadyAt: 10})
+	if _, ok := q.Lookup(1, 5); ok {
+		t.Error("entry visible before ReadyAt")
+	}
+	e, ok := q.Lookup(1, 10)
+	if !ok || e.Value != 42 || e.Addr != 0x100 {
+		t.Fatalf("lookup at ReadyAt: %+v ok=%v", e, ok)
+	}
+	if _, ok := q.Lookup(1, 11); ok {
+		t.Error("entry not consumed")
+	}
+}
+
+func TestLVQOutOfOrderConsumption(t *testing.T) {
+	// The tag-associative LVQ permits out-of-order trailing loads (§4.1).
+	q := NewLVQ(8)
+	for tag := uint64(1); tag <= 4; tag++ {
+		q.Push(LVQEntry{Tag: tag, Value: tag * 10})
+	}
+	for _, tag := range []uint64{3, 1, 4, 2} {
+		e, ok := q.Lookup(tag, 0)
+		if !ok || e.Value != tag*10 {
+			t.Fatalf("tag %d: %+v ok=%v", tag, e, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("len = %d", q.Len())
+	}
+}
+
+func TestLVQFull(t *testing.T) {
+	q := NewLVQ(2)
+	q.Push(LVQEntry{Tag: 1})
+	if q.Full() {
+		t.Error("full at 1/2")
+	}
+	q.Push(LVQEntry{Tag: 2})
+	if !q.Full() {
+		t.Error("not full at 2/2")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	q.Push(LVQEntry{Tag: 3})
+}
+
+func TestLVQSequentialPushInvariant(t *testing.T) {
+	q := NewLVQ(8)
+	q.Push(LVQEntry{Tag: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("gapped push did not panic")
+		}
+	}()
+	q.Push(LVQEntry{Tag: 3})
+}
+
+func TestLVQPeek(t *testing.T) {
+	q := NewLVQ(4)
+	if _, ok := q.Peek(7); ok {
+		t.Error("peek of absent tag")
+	}
+	q.Push(LVQEntry{Tag: 1, ReadyAt: 99})
+	ready, ok := q.Peek(1)
+	if !ok || ready != 99 {
+		t.Errorf("peek: %d %v", ready, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("peek must not consume")
+	}
+}
+
+// --- LPQ ---
+
+func TestLPQFIFOOrder(t *testing.T) {
+	q := NewLPQ(4)
+	q.Push(Chunk{StartPC: 10, Count: 8})
+	q.Push(Chunk{StartPC: 20, Count: 4})
+	c, ok := q.PeekActive(0)
+	if !ok || c.StartPC != 10 {
+		t.Fatalf("peek: %+v %v", c, ok)
+	}
+	q.Ack()
+	q.Complete()
+	c, ok = q.PeekActive(0)
+	if !ok || c.StartPC != 20 {
+		t.Fatalf("second peek: %+v %v", c, ok)
+	}
+}
+
+func TestLPQReadyAtGatesVisibility(t *testing.T) {
+	q := NewLPQ(4)
+	q.Push(Chunk{StartPC: 10, ReadyAt: 50})
+	if _, ok := q.PeekActive(49); ok {
+		t.Error("chunk visible before forwarding latency elapsed")
+	}
+	if _, ok := q.PeekActive(50); !ok {
+		t.Error("chunk not visible at ReadyAt")
+	}
+}
+
+// TestLPQTwoHeads exercises Figure 4's active/recovery head pair: an
+// instruction cache miss rolls the active head back without losing
+// predictions.
+func TestLPQTwoHeads(t *testing.T) {
+	q := NewLPQ(4)
+	q.Push(Chunk{StartPC: 10})
+	q.Push(Chunk{StartPC: 20})
+	q.Push(Chunk{StartPC: 30})
+
+	// The address driver acks two predictions...
+	q.Ack()
+	q.Ack()
+	if q.PendingAtActive() != 1 {
+		t.Fatalf("pending at active = %d, want 1", q.PendingAtActive())
+	}
+	// ...then the fetch misses the icache: roll back to the recovery head.
+	q.Rollback()
+	if q.PendingAtActive() != 3 {
+		t.Fatalf("after rollback pending = %d, want 3", q.PendingAtActive())
+	}
+	c, _ := q.PeekActive(0)
+	if c.StartPC != 10 {
+		t.Fatalf("rollback must replay from the oldest unfetched chunk, got %d", c.StartPC)
+	}
+	// Successful fetch: ack + complete advances both heads.
+	q.Ack()
+	q.Complete()
+	c, _ = q.PeekActive(0)
+	if c.StartPC != 20 {
+		t.Fatalf("after complete, head = %d, want 20", c.StartPC)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+}
+
+func TestLPQFullAndWrap(t *testing.T) {
+	q := NewLPQ(2)
+	q.Push(Chunk{StartPC: 1})
+	q.Push(Chunk{StartPC: 2})
+	if !q.Full() {
+		t.Fatal("should be full")
+	}
+	q.Ack()
+	q.Complete()
+	q.Push(Chunk{StartPC: 3}) // wraps the ring
+	q.Ack()
+	q.Complete()
+	c, ok := q.PeekActive(0)
+	if !ok || c.StartPC != 3 {
+		t.Fatalf("wrap: %+v %v", c, ok)
+	}
+}
+
+// TestLPQQuickRingInvariant property-tests the ring under random
+// push/ack/complete/rollback sequences: the queue never loses or reorders
+// chunks.
+func TestLPQQuickRingInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewLPQ(8)
+		nextPush := uint64(1)
+		nextFetch := uint64(1)
+		acked := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				if !q.Full() {
+					q.Push(Chunk{StartPC: nextPush})
+					nextPush++
+				}
+			case 1:
+				if q.PendingAtActive() > 0 {
+					c, ok := q.PeekActive(0)
+					if !ok || c.StartPC != nextFetch+uint64(acked) {
+						return false
+					}
+					q.Ack()
+					acked++
+				}
+			case 2:
+				if acked > 0 {
+					q.Complete()
+					acked--
+					nextFetch++
+				}
+			case 3:
+				q.Rollback()
+				acked = 0
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- Aggregator ---
+
+func collect(lpq *LPQ) []Chunk {
+	var cs []Chunk
+	for {
+		c, ok := lpq.PeekActive(^uint64(0) >> 1)
+		if !ok {
+			break
+		}
+		cs = append(cs, c)
+		lpq.Ack()
+		lpq.Complete()
+	}
+	return cs
+}
+
+func addSeq(a *Aggregator, pcs ...uint64) {
+	for _, pc := range pcs {
+		a.Add(RetireInfo{PC: pc})
+	}
+}
+
+func TestAggregatorContiguousRun(t *testing.T) {
+	lpq := NewLPQ(8)
+	a := NewAggregator(lpq)
+	addSeq(a, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9) // 10 contiguous
+	cs := collect(lpq)
+	if len(cs) != 1 || cs[0].Count != 8 || cs[0].StartPC != 0 {
+		t.Fatalf("chunks: %+v", cs)
+	}
+	if a.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", a.Pending())
+	}
+}
+
+func TestAggregatorNonContiguousTerminates(t *testing.T) {
+	lpq := NewLPQ(8)
+	a := NewAggregator(lpq)
+	addSeq(a, 0, 1, 2, 100, 101) // taken branch after pc=2
+	cs := collect(lpq)
+	if len(cs) != 1 || cs[0].StartPC != 0 || cs[0].Count != 3 {
+		t.Fatalf("chunks: %+v", cs)
+	}
+}
+
+// TestAggregatorFallThroughMerge checks the paper's merge case: a
+// not-taken branch keeps the chunk growing across what fetch would have
+// split (contiguous PCs never terminate early).
+func TestAggregatorFallThroughMerge(t *testing.T) {
+	lpq := NewLPQ(8)
+	a := NewAggregator(lpq)
+	// 5 contiguous instructions, then 3 more contiguous: one chunk of 8.
+	addSeq(a, 10, 11, 12, 13, 14, 15, 16, 17)
+	a.Add(RetireInfo{PC: 18}) // forces flush of the full chunk
+	cs := collect(lpq)
+	if len(cs) != 1 || cs[0].Count != 8 {
+		t.Fatalf("chunks: %+v", cs)
+	}
+}
+
+func TestAggregatorChunkStartTerminates(t *testing.T) {
+	lpq := NewLPQ(8)
+	a := NewAggregator(lpq)
+	a.Add(RetireInfo{PC: 0})
+	a.Add(RetireInfo{PC: 1})
+	a.Add(RetireInfo{PC: 2, ChunkStart: true}) // leading fetch chunk boundary
+	a.Add(RetireInfo{PC: 3})
+	a.ForceFlush(0, 0)
+	cs := collect(lpq)
+	if len(cs) != 2 || cs[0].Count != 2 || cs[1].Count != 2 || cs[1].StartPC != 2 {
+		t.Fatalf("chunks: %+v", cs)
+	}
+}
+
+func TestAggregatorForceTerminate(t *testing.T) {
+	lpq := NewLPQ(8)
+	a := NewAggregator(lpq)
+	a.Add(RetireInfo{PC: 0})
+	a.Add(RetireInfo{PC: 1, ForceTerminate: true}) // partial-forward store
+	a.Add(RetireInfo{PC: 2})
+	cs := collect(lpq)
+	if len(cs) != 1 || cs[0].Count != 2 {
+		t.Fatalf("chunks: %+v", cs)
+	}
+	if a.ForcedTerminations.Value() != 1 {
+		t.Errorf("forced terminations = %d", a.ForcedTerminations.Value())
+	}
+}
+
+func TestAggregatorForceFlushEmptyIsNoop(t *testing.T) {
+	lpq := NewLPQ(8)
+	a := NewAggregator(lpq)
+	a.ForceFlush(0, 0)
+	if lpq.Len() != 0 || a.ForcedTerminations.Value() != 0 {
+		t.Error("flush of empty aggregator should do nothing")
+	}
+}
+
+func TestAggregatorCarriesSlotMetadata(t *testing.T) {
+	lpq := NewLPQ(8)
+	a := NewAggregator(lpq)
+	a.Add(RetireInfo{PC: 0, UpperHalf: true, FU: 3, LoadTag: 7})
+	a.Add(RetireInfo{PC: 1, StoreTag: 9})
+	a.ForceFlush(0, 5)
+	c, ok := lpq.PeekActive(5)
+	if !ok {
+		t.Fatal("no chunk")
+	}
+	if !c.UpperHalf[0] || c.FUs[0] != 3 || c.LoadTags[0] != 7 || c.StoreTags[1] != 9 {
+		t.Errorf("metadata lost: %+v", c)
+	}
+	if c.ReadyAt != 5 {
+		t.Errorf("ReadyAt = %d, want retire+latency = 5", c.ReadyAt)
+	}
+}
+
+// --- Store comparator ---
+
+func TestStoreComparatorMatch(t *testing.T) {
+	c := NewStoreComparator(1)
+	c.AddLeading(StoreRecord{Tag: 1, Addr: 0x10, Size: 8, Value: 5, ReadyAt: 100})
+	if _, _, done := c.Verify(1, 100); done {
+		t.Fatal("verified without trailing copy")
+	}
+	c.AddTrailing(StoreRecord{Tag: 1, Addr: 0x10, Size: 8, Value: 5, ReadyAt: 105})
+	if _, _, done := c.Verify(1, 104); done {
+		t.Fatal("verified before trailing arrival")
+	}
+	when, mismatch, done := c.Verify(1, 105)
+	if !done || mismatch != nil {
+		t.Fatalf("verify: done=%v mismatch=%v", done, mismatch)
+	}
+	if when != 106 {
+		t.Errorf("verified at %d, want arrival+compare = 106", when)
+	}
+	if c.PendingLeading() != 0 || c.HasTrailing(1) {
+		t.Error("records not consumed")
+	}
+}
+
+func TestStoreComparatorMismatch(t *testing.T) {
+	cases := []StoreRecord{
+		{Tag: 1, Addr: 0x10, Size: 8, Value: 6}, // value differs
+		{Tag: 1, Addr: 0x18, Size: 8, Value: 5}, // address differs
+		{Tag: 1, Addr: 0x10, Size: 1, Value: 5}, // size differs
+	}
+	for i, trail := range cases {
+		c := NewStoreComparator(1)
+		c.AddLeading(StoreRecord{Tag: 1, Addr: 0x10, Size: 8, Value: 5})
+		c.AddTrailing(trail)
+		_, mismatch, done := c.Verify(1, 10)
+		if !done || mismatch == nil {
+			t.Errorf("case %d: mismatch not flagged", i)
+		}
+		if mismatch != nil && mismatch.Error() == "" {
+			t.Errorf("case %d: empty error text", i)
+		}
+	}
+}
+
+func TestStoreComparatorUnknownTagPanics(t *testing.T) {
+	c := NewStoreComparator(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("verify of unknown tag did not panic")
+		}
+	}()
+	c.Verify(99, 0)
+}
+
+// --- Pair ---
+
+func TestPairTagCounters(t *testing.T) {
+	p := NewPair(0, SRTLatencies(), 8, 8)
+	if p.NextLeadLoadTag() != 1 || p.NextLeadLoadTag() != 2 {
+		t.Error("lead load tags not sequential from 1")
+	}
+	if p.NextTrailLoadTag() != 1 {
+		t.Error("trail load tags independent of lead's")
+	}
+	if p.NextLeadStoreTag() != 1 || p.NextTrailStoreTag() != 1 {
+		t.Error("store tags not sequential from 1")
+	}
+}
+
+func TestPairSpaceRedundancyStats(t *testing.T) {
+	p := NewPair(0, SRTLatencies(), 8, 8)
+	p.ObserveSpaceRedundancy(true, true, 2, 2)   // same half, same FU
+	p.ObserveSpaceRedundancy(true, false, 2, 6)  // different
+	p.ObserveSpaceRedundancy(false, false, 1, 5) // same half, diff FU
+	if got := p.SameHalfFrac(); got < 0.66 || got > 0.67 {
+		t.Errorf("same half = %.3f, want 2/3", got)
+	}
+	if got := p.SameFUFrac(); got < 0.33 || got > 0.34 {
+		t.Errorf("same FU = %.3f, want 1/3", got)
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	srt := SRTLatencies()
+	crt := CRTLatencies()
+	if srt.LPQForward != 4 || srt.LVQForward != 2 {
+		t.Errorf("SRT latencies = %+v (paper: 4-cycle LPQ, 2-cycle LVQ)", srt)
+	}
+	if crt.LPQForward != srt.LPQForward+4 || crt.LVQForward != srt.LVQForward+4 ||
+		crt.StoreForward != srt.StoreForward+4 {
+		t.Errorf("CRT must add the 4-cycle cross-core penalty: %+v", crt)
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"repro/internal/pipeline"
+	"repro/internal/rmt"
+	"repro/internal/vm"
+)
+
+// ioBridge replicates uncached load values from the leading copy to the
+// trailing copy (the paper defers uncached input replication to future
+// work; this implements it). Device reads are side-effecting, so only the
+// leading copy touches the device; the trailing copy consumes the
+// replicated (address, value) stream in program order and verifies the
+// address — a divergence there is a detected fault, like the LVQ's address
+// check.
+type ioBridge struct {
+	addrs []uint64
+	vals  []uint64
+}
+
+// wireIO connects a logical program's contexts to its pseudo-device.
+// Non-redundant contexts read and write the device directly; redundant
+// pairs route reads through the bridge and perform writes once, from the
+// leading side, after output comparison.
+func wireIO(dev *vm.PseudoDevice, pair *rmt.Pair, lead, trail *pipeline.Context) {
+	if trail == nil {
+		lead.Arch.IORead = dev.Read
+		lead.IOWrite = dev.Write
+		return
+	}
+	br := &ioBridge{}
+	lead.Arch.IORead = func(addr uint64) uint64 {
+		v := dev.Read(addr)
+		br.addrs = append(br.addrs, addr)
+		br.vals = append(br.vals, v)
+		return v
+	}
+	trail.Arch.IORead = func(addr uint64) uint64 {
+		if len(br.vals) == 0 {
+			// The trailing copy cannot run ahead of the leading copy's
+			// retirement in a fault-free machine; reaching here means the
+			// copies' uncached-load streams diverged.
+			pair.Detected = append(pair.Detected, &rmt.Mismatch{TrailAddr: addr})
+			return 0
+		}
+		a, v := br.addrs[0], br.vals[0]
+		br.addrs, br.vals = br.addrs[1:], br.vals[1:]
+		if a != addr {
+			pair.Detected = append(pair.Detected, &rmt.Mismatch{LeadAddr: a, TrailAddr: addr})
+		}
+		return v
+	}
+	lead.IOWrite = dev.Write
+}

@@ -1,0 +1,135 @@
+// Package trace renders per-instruction pipeline traces: for each dynamic
+// instruction, the cycles at which it was fetched, dispatched, issued,
+// completed and retired, drawn as a pipeline diagram. Attach a Collector to
+// a core (pipeline.Core.Trace) and render with Format.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// Record is one dynamic instruction's pipeline history.
+type Record struct {
+	TID      int
+	Seq      uint64
+	PC       uint64
+	Text     string
+	Fetch    uint64
+	Dispatch uint64
+	Issue    uint64
+	Done     uint64
+	Retire   uint64
+}
+
+// Collector accumulates trace events from a core, bounded by Cap.
+type Collector struct {
+	Cap  int
+	recs map[key]*Record
+}
+
+type key struct {
+	tid int
+	seq uint64
+}
+
+// NewCollector returns a collector holding up to cap instructions
+// (0 = 4096).
+func NewCollector(cap int) *Collector {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &Collector{Cap: cap, recs: make(map[key]*Record, cap)}
+}
+
+// Hook returns the function to install as pipeline.Core.Trace.
+func (c *Collector) Hook() func(ev pipeline.TraceEvent) {
+	return func(ev pipeline.TraceEvent) {
+		k := key{ev.TID, ev.Seq}
+		r, ok := c.recs[k]
+		if !ok {
+			if len(c.recs) >= c.Cap {
+				return
+			}
+			r = &Record{TID: ev.TID, Seq: ev.Seq, PC: ev.PC, Text: ev.Text}
+			c.recs[k] = r
+		}
+		switch ev.Stage {
+		case pipeline.StageFetch:
+			r.Fetch = ev.Cycle
+		case pipeline.StageDispatch:
+			r.Dispatch = ev.Cycle
+		case pipeline.StageIssue:
+			r.Issue = ev.Cycle
+		case pipeline.StageDone:
+			r.Done = ev.Cycle
+		case pipeline.StageRetire:
+			r.Retire = ev.Cycle
+		}
+	}
+}
+
+// Records returns the collected records sorted by (tid, seq).
+func (c *Collector) Records() []*Record {
+	rs := make([]*Record, 0, len(c.recs))
+	for _, r := range c.recs {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].TID != rs[j].TID {
+			return rs[i].TID < rs[j].TID
+		}
+		return rs[i].Seq < rs[j].Seq
+	})
+	return rs
+}
+
+// Format renders records retired in [from, to) as a pipeline diagram:
+//
+//	t0 seq=102 pc=17    add r3, r1, r2   F---D--I+++RC..X
+//
+// F fetch, D dispatch, I issue, C complete, X retire; '-' waiting in the
+// rate-matching buffer, '+' executing, '.' waiting to retire.
+func Format(rs []*Record, from, to uint64) string {
+	var b strings.Builder
+	for _, r := range rs {
+		if r.Retire < from || (to > 0 && r.Retire >= to) || r.Retire == 0 {
+			continue
+		}
+		// Each line's diagram starts at its own fetch cycle (printed as a
+		// prefix) so deep traces stay narrow.
+		origin := r.Fetch
+		line := make([]byte, 0, 64)
+		pos := func(cycle uint64) int {
+			if cycle < origin {
+				return 0
+			}
+			return int(cycle - origin)
+		}
+		put := func(p int, ch byte, fill byte) {
+			for len(line) < p {
+				line = append(line, fill)
+			}
+			if len(line) == p {
+				line = append(line, ch)
+			} else if p >= 0 && p < len(line) {
+				line[p] = ch
+			}
+		}
+		put(pos(r.Fetch), 'F', ' ')
+		put(pos(r.Dispatch), 'D', '-')
+		put(pos(r.Issue), 'I', '-')
+		put(pos(r.Done), 'C', '+')
+		retirePos := pos(r.Retire)
+		if retirePos == pos(r.Done) {
+			retirePos++ // retirement never precedes completion visually
+		}
+		put(retirePos, 'X', '.')
+		fmt.Fprintf(&b, "t%d %6d cyc=%-7d pc=%-5d %-26s %s\n",
+			r.TID, r.Seq, r.Fetch, r.PC, r.Text, line)
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/vm"
+)
+
+func TestCollectorRendersPipeline(t *testing.T) {
+	b := isa.NewBuilder("t")
+	b.Ldi(isa.R1, 5)
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, -1)
+	b.Bne(isa.R1, "top")
+	b.Halt()
+	prog := b.MustFinish()
+
+	core := pipeline.NewCore(0, pipeline.DefaultConfig(), nil)
+	memImg := vm.NewMemory()
+	vm.Load(prog, memImg)
+	ctx := pipeline.NewContext(pipeline.RoleSingle, 0, vm.NewThread(0, prog, memImg), 1000)
+	core.AddContext(ctx)
+	core.FinalizeQueues()
+
+	c := NewCollector(64)
+	core.Trace = c.Hook()
+	m := &pipeline.Machine{Cores: []*pipeline.Core{core}}
+	if _, err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := c.Records()
+	if len(recs) == 0 {
+		t.Fatal("no trace records")
+	}
+	for _, r := range recs {
+		if r.Retire == 0 {
+			continue
+		}
+		if !(r.Fetch <= r.Dispatch && r.Dispatch <= r.Issue && r.Issue < r.Done && r.Done <= r.Retire) {
+			t.Errorf("stage order violated for seq %d: F%d D%d I%d C%d X%d",
+				r.Seq, r.Fetch, r.Dispatch, r.Issue, r.Done, r.Retire)
+		}
+	}
+	out := Format(recs, 0, 0)
+	for _, want := range []string{"F", "D", "I", "C", "X", "ldi", "addi", "bne"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorRespectsCap(t *testing.T) {
+	c := NewCollector(2)
+	h := c.Hook()
+	for seq := uint64(0); seq < 10; seq++ {
+		h(pipeline.TraceEvent{TID: 0, Seq: seq, Stage: pipeline.StageFetch})
+	}
+	if len(c.Records()) != 2 {
+		t.Errorf("records = %d, want cap 2", len(c.Records()))
+	}
+}

@@ -1,0 +1,42 @@
+package vm
+
+// IODevice is a memory-mapped device: reads are side-effecting (they
+// consume device state), writes are externally visible. The sphere of
+// replication treats device reads as inputs to replicate and device writes
+// as outputs to compare.
+type IODevice interface {
+	Read(addr uint64) uint64
+	Write(addr, val uint64)
+}
+
+// IOWriteRecord is one performed device write.
+type IOWriteRecord struct {
+	Addr, Val uint64
+}
+
+// PseudoDevice is a deterministic side-effecting device: every read
+// advances its internal state (so reading twice yields different values —
+// the property that makes uncached-load replication mandatory), and writes
+// are logged in order.
+type PseudoDevice struct {
+	state    uint64
+	Reads    uint64
+	WriteLog []IOWriteRecord
+}
+
+// NewPseudoDevice returns a device seeded deterministically.
+func NewPseudoDevice(seed uint64) *PseudoDevice {
+	return &PseudoDevice{state: seed | 1}
+}
+
+// Read implements IODevice: a keyed-counter value, different on every call.
+func (d *PseudoDevice) Read(addr uint64) uint64 {
+	d.Reads++
+	d.state = d.state*6364136223846793005 + 1442695040888963407
+	return d.state ^ addr
+}
+
+// Write implements IODevice.
+func (d *PseudoDevice) Write(addr, val uint64) {
+	d.WriteLog = append(d.WriteLog, IOWriteRecord{Addr: addr, Val: val})
+}

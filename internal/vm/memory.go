@@ -1,0 +1,178 @@
+// Package vm provides the functional execution substrate: sparse
+// byte-addressable memory, per-hardware-thread architectural state, and the
+// instruction semantics of the ISA. The timing model (internal/pipeline)
+// drives a Thread as its oracle: instructions are executed functionally in
+// program order as they are fetched, yielding branch outcomes, effective
+// addresses and values that the timing model then charges cycles for.
+//
+// Redundant threads of the same logical program share one committed Memory
+// but each has a private store overlay (the architectural image of the
+// sphere of replication's store queue): its own stores are visible to its
+// own loads but do not reach committed memory until the simulated machine
+// releases them (after output comparison in RMT modes).
+package vm
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Memory is a sparse, byte-addressable, little-endian memory image. The zero
+// value is ready to use. All unwritten bytes read as zero.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Byte returns the byte at addr.
+func (m *Memory) Byte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte sets the byte at addr.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	m.pageFor(addr, true)[addr&pageMask] = v
+}
+
+// Read64 returns the little-endian 64-bit value at addr (no alignment
+// requirement).
+func (m *Memory) Read64(addr uint64) uint64 {
+	// Fast path: within one page and aligned.
+	if addr&7 == 0 && addr&pageMask <= pageSize-8 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		o := addr & pageMask
+		return uint64(p[o]) | uint64(p[o+1])<<8 | uint64(p[o+2])<<16 | uint64(p[o+3])<<24 |
+			uint64(p[o+4])<<32 | uint64(p[o+5])<<40 | uint64(p[o+6])<<48 | uint64(p[o+7])<<56
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(m.Byte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write64 stores a little-endian 64-bit value at addr.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	if addr&7 == 0 && addr&pageMask <= pageSize-8 {
+		p := m.pageFor(addr, true)
+		o := addr & pageMask
+		p[o] = byte(v)
+		p[o+1] = byte(v >> 8)
+		p[o+2] = byte(v >> 16)
+		p[o+3] = byte(v >> 24)
+		p[o+4] = byte(v >> 32)
+		p[o+5] = byte(v >> 40)
+		p[o+6] = byte(v >> 48)
+		p[o+7] = byte(v >> 56)
+		return
+	}
+	for i := 0; i < 8; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// SetBytes copies b into memory starting at addr.
+func (m *Memory) SetBytes(addr uint64, b []byte) {
+	for i, v := range b {
+		m.SetByte(addr+uint64(i), v)
+	}
+}
+
+// Pages returns the number of resident pages (for footprint accounting).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// overlayByte is one pending (not yet released) store byte. seq identifies
+// the youngest store that wrote it, so release can tell whether the byte is
+// still live in the overlay.
+type overlayByte struct {
+	val byte
+	seq uint64
+}
+
+// Overlay is a thread-private view of pending stores layered over a shared
+// committed Memory. It models the architectural contents of the thread's
+// store queue: loads from the owning thread see overlay bytes first.
+type Overlay struct {
+	mem     *Memory
+	pending map[uint64]overlayByte
+}
+
+// NewOverlay returns an empty overlay over mem.
+func NewOverlay(mem *Memory) *Overlay {
+	return &Overlay{mem: mem, pending: make(map[uint64]overlayByte)}
+}
+
+// Byte returns the thread-visible byte at addr.
+func (o *Overlay) Byte(addr uint64) byte {
+	if b, ok := o.pending[addr]; ok {
+		return b.val
+	}
+	return o.mem.Byte(addr)
+}
+
+// Read64 returns the thread-visible 64-bit value at addr.
+func (o *Overlay) Read64(addr uint64) uint64 {
+	if len(o.pending) == 0 {
+		return o.mem.Read64(addr)
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(o.Byte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Store records a pending store of the low `size` bytes of val at addr,
+// tagged with the dynamic sequence number seq (strictly increasing per
+// thread).
+func (o *Overlay) Store(addr uint64, val uint64, size int, seq uint64) {
+	for i := 0; i < size; i++ {
+		o.pending[addr+uint64(i)] = overlayByte{val: byte(val >> (8 * i)), seq: seq}
+	}
+}
+
+// Release commits the store identified by (addr, val, size, seq) to the
+// shared memory and drops overlay bytes that still belong to it. If commit
+// is false the bytes are dropped without being written (used for the
+// trailing copy, whose stores never leave the sphere).
+func (o *Overlay) Release(addr uint64, val uint64, size int, seq uint64, commit bool) {
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		if commit {
+			o.mem.SetByte(a, byte(val>>(8*i)))
+		}
+		if b, ok := o.pending[a]; ok && b.seq == seq {
+			delete(o.pending, a)
+		}
+	}
+}
+
+// PendingBytes returns the number of bytes currently held in the overlay.
+func (o *Overlay) PendingBytes() int { return len(o.pending) }
+
+// Backing returns the committed memory under the overlay.
+func (o *Overlay) Backing() *Memory { return o.mem }

@@ -1,0 +1,173 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// opCase drives one opcode through Step with controlled register state and
+// checks the destination value (or memory / control-flow effect).
+type opCase struct {
+	name   string
+	ins    isa.Instr
+	ra, rb uint64 // preloaded into R1/R2 (or F1/F2 for FP sources)
+	fp     bool   // sources are FP registers
+	want   uint64 // expected destination value
+}
+
+// TestEveryALUOpcode checks the functional semantics of each ALU and FP
+// opcode individually.
+func TestEveryALUOpcode(t *testing.T) {
+	f := math.Float64bits
+	cases := []opCase{
+		{"add", isa.Instr{Op: isa.ADD, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 7, 5, false, 12},
+		{"sub", isa.Instr{Op: isa.SUB, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 7, 5, false, 2},
+		{"sub-wrap", isa.Instr{Op: isa.SUB, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 0, 1, false, ^uint64(0)},
+		{"mul", isa.Instr{Op: isa.MUL, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 7, 5, false, 35},
+		{"div", isa.Instr{Op: isa.DIV, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 35, 5, false, 7},
+		{"div-neg", isa.Instr{Op: isa.DIV, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, ^uint64(34), 5, false, ^uint64(6)},
+		{"mod", isa.Instr{Op: isa.MOD, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 37, 5, false, 2},
+		{"and", isa.Instr{Op: isa.AND, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 0xff, 0x0f, false, 0x0f},
+		{"or", isa.Instr{Op: isa.OR, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 0xf0, 0x0f, false, 0xff},
+		{"xor", isa.Instr{Op: isa.XOR, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 0xff, 0x0f, false, 0xf0},
+		{"sll", isa.Instr{Op: isa.SLL, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 1, 8, false, 256},
+		{"sll-mask", isa.Instr{Op: isa.SLL, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 1, 64, false, 1},
+		{"srl", isa.Instr{Op: isa.SRL, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 256, 8, false, 1},
+		{"sra", isa.Instr{Op: isa.SRA, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, ^uint64(255), 4, false, ^uint64(15)},
+		{"cmpeq-t", isa.Instr{Op: isa.CMPEQ, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 5, 5, false, 1},
+		{"cmpeq-f", isa.Instr{Op: isa.CMPEQ, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 5, 6, false, 0},
+		{"cmplt-signed", isa.Instr{Op: isa.CMPLT, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, ^uint64(0), 0, false, 1},
+		{"cmple", isa.Instr{Op: isa.CMPLE, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, 5, 5, false, 1},
+		{"cmpult-unsigned", isa.Instr{Op: isa.CMPULT, Rd: isa.R3, Ra: isa.R1, Rb: isa.R2}, ^uint64(0), 0, false, 0},
+
+		{"ldi", isa.Instr{Op: isa.LDI, Rd: isa.R3, Imm: -9}, 0, 0, false, ^uint64(8)},
+		{"addi", isa.Instr{Op: isa.ADDI, Rd: isa.R3, Ra: isa.R1, Imm: -2}, 7, 0, false, 5},
+		{"muli", isa.Instr{Op: isa.MULI, Rd: isa.R3, Ra: isa.R1, Imm: 3}, 7, 0, false, 21},
+		{"andi", isa.Instr{Op: isa.ANDI, Rd: isa.R3, Ra: isa.R1, Imm: 3}, 7, 0, false, 3},
+		{"ori", isa.Instr{Op: isa.ORI, Rd: isa.R3, Ra: isa.R1, Imm: 8}, 7, 0, false, 15},
+		{"xori", isa.Instr{Op: isa.XORI, Rd: isa.R3, Ra: isa.R1, Imm: 1}, 7, 0, false, 6},
+		{"slli", isa.Instr{Op: isa.SLLI, Rd: isa.R3, Ra: isa.R1, Imm: 4}, 1, 0, false, 16},
+		{"srli", isa.Instr{Op: isa.SRLI, Rd: isa.R3, Ra: isa.R1, Imm: 2}, 16, 0, false, 4},
+		{"srai", isa.Instr{Op: isa.SRAI, Rd: isa.R3, Ra: isa.R1, Imm: 2}, ^uint64(15), 0, false, ^uint64(3)},
+		{"cmpeqi", isa.Instr{Op: isa.CMPEQI, Rd: isa.R3, Ra: isa.R1, Imm: 7}, 7, 0, false, 1},
+		{"cmplti", isa.Instr{Op: isa.CMPLTI, Rd: isa.R3, Ra: isa.R1, Imm: 8}, 7, 0, false, 1},
+
+		{"fadd", isa.Instr{Op: isa.FADD, Rd: isa.F3, Ra: isa.F1, Rb: isa.F2}, f(1.5), f(2.25), true, f(3.75)},
+		{"fsub", isa.Instr{Op: isa.FSUB, Rd: isa.F3, Ra: isa.F1, Rb: isa.F2}, f(1.5), f(2.25), true, f(-0.75)},
+		{"fmul", isa.Instr{Op: isa.FMUL, Rd: isa.F3, Ra: isa.F1, Rb: isa.F2}, f(1.5), f(2), true, f(3)},
+		{"fdiv", isa.Instr{Op: isa.FDIV, Rd: isa.F3, Ra: isa.F1, Rb: isa.F2}, f(3), f(2), true, f(1.5)},
+		{"fsqrt", isa.Instr{Op: isa.FSQRT, Rd: isa.F3, Ra: isa.F1}, f(9), 0, true, f(3)},
+		{"fneg", isa.Instr{Op: isa.FNEG, Rd: isa.F3, Ra: isa.F1}, f(2.5), 0, true, f(-2.5)},
+		{"fcmpeq", isa.Instr{Op: isa.FCMPEQ, Rd: isa.F3, Ra: isa.F1, Rb: isa.F2}, f(2), f(2), true, 1},
+		{"fcmplt", isa.Instr{Op: isa.FCMPLT, Rd: isa.F3, Ra: isa.F1, Rb: isa.F2}, f(1), f(2), true, 1},
+		{"fcmple", isa.Instr{Op: isa.FCMPLE, Rd: isa.F3, Ra: isa.F1, Rb: isa.F2}, f(3), f(2), true, 0},
+		{"itof", isa.Instr{Op: isa.ITOF, Rd: isa.F3, Ra: isa.R1}, 0x4008000000000000, 0, false, f(3)},
+		{"cvtqf", isa.Instr{Op: isa.CVTQF, Rd: isa.F3, Ra: isa.R1}, 3, 0, false, f(3)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := isa.NewBuilder("op")
+			b.Emit(c.ins)
+			b.Halt()
+			p := b.MustFinish()
+			th := NewThread(0, p, NewMemory())
+			if c.fp {
+				th.FPReg[isa.F1] = c.ra
+				th.FPReg[isa.F2] = c.rb
+			} else {
+				th.IntReg[isa.R1] = c.ra
+				th.IntReg[isa.R2] = c.rb
+			}
+			out := th.Step()
+			if out.DestVal != c.want {
+				t.Errorf("%v: got %#x, want %#x", c.ins, out.DestVal, c.want)
+			}
+			var got uint64
+			if c.ins.DestIsFP() {
+				got = th.FPReg[c.ins.Rd]
+			} else {
+				got = th.IntReg[c.ins.Rd]
+			}
+			if got != c.want {
+				t.Errorf("%v: register holds %#x, want %#x", c.ins, got, c.want)
+			}
+		})
+	}
+}
+
+// TestFtoiCvtfq checks the FP-to-integer movers write the integer file.
+func TestFtoiCvtfq(t *testing.T) {
+	b := isa.NewBuilder("m")
+	b.Emit(isa.Instr{Op: isa.FTOI, Rd: isa.R3, Ra: isa.F1})
+	b.Emit(isa.Instr{Op: isa.CVTFQ, Rd: isa.R4, Ra: isa.F1})
+	b.Halt()
+	p := b.MustFinish()
+	th := NewThread(0, p, NewMemory())
+	th.FPReg[isa.F1] = math.Float64bits(-7.0)
+	th.Step()
+	th.Step()
+	if th.IntReg[isa.R3] != math.Float64bits(-7.0) {
+		t.Errorf("ftoi = %#x", th.IntReg[isa.R3])
+	}
+	if int64(th.IntReg[isa.R4]) != -7 {
+		t.Errorf("cvtfq = %d", int64(th.IntReg[isa.R4]))
+	}
+}
+
+// TestBranchOutcomes checks every conditional branch's taken rule.
+func TestBranchOutcomes(t *testing.T) {
+	cases := []struct {
+		op    isa.Op
+		val   int64
+		taken bool
+	}{
+		{isa.BEQ, 0, true}, {isa.BEQ, 1, false},
+		{isa.BNE, 0, false}, {isa.BNE, -1, true},
+		{isa.BLT, -1, true}, {isa.BLT, 0, false},
+		{isa.BGE, 0, true}, {isa.BGE, -1, false},
+		{isa.BGT, 1, true}, {isa.BGT, 0, false},
+		{isa.BLE, 0, true}, {isa.BLE, 1, false},
+	}
+	for _, c := range cases {
+		b := isa.NewBuilder("br")
+		b.Emit(isa.Instr{Op: c.op, Ra: isa.R1, Imm: 1})
+		b.Halt() // fall-through target
+		b.Halt() // taken target
+		p := b.MustFinish()
+		th := NewThread(0, p, NewMemory())
+		th.IntReg[isa.R1] = uint64(c.val)
+		out := th.Step()
+		if out.Taken != c.taken {
+			t.Errorf("%v with %d: taken=%v, want %v", c.op, c.val, out.Taken, c.taken)
+		}
+		wantPC := uint64(1)
+		if c.taken {
+			wantPC = 2
+		}
+		if out.NextPC != wantPC {
+			t.Errorf("%v with %d: nextPC=%d, want %d", c.op, c.val, out.NextPC, wantPC)
+		}
+	}
+}
+
+// TestJumpLinkValues checks JSR/JMP link-register semantics.
+func TestJumpLinkValues(t *testing.T) {
+	b := isa.NewBuilder("j")
+	b.Jsr(isa.R26, "f") // pc 0 -> link 1
+	b.Halt()            // pc 1
+	b.Label("f")
+	b.Jmp(isa.R25, isa.R26) // pc 2: jump back to 1, link 3
+	b.Halt()                // pc 3
+	p := b.MustFinish()
+	th := NewThread(0, p, NewMemory())
+	out := th.Step()
+	if out.NextPC != 2 || th.IntReg[isa.R26] != 1 {
+		t.Fatalf("jsr: next=%d link=%d", out.NextPC, th.IntReg[isa.R26])
+	}
+	out = th.Step()
+	if out.NextPC != 1 || th.IntReg[isa.R25] != 3 {
+		t.Fatalf("jmp: next=%d link=%d", out.NextPC, th.IntReg[isa.R25])
+	}
+}

@@ -1,0 +1,410 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// CorruptPoint identifies where in an instruction's dataflow a fault
+// injector may flip bits.
+type CorruptPoint uint8
+
+// Corruption points.
+const (
+	// PointResult is the value written to the destination register.
+	PointResult CorruptPoint = iota
+	// PointStoreData is the data value of a store.
+	PointStoreData
+	// PointStoreAddr is the effective address of a store.
+	PointStoreAddr
+	// PointLoadValue is the value returned by a load.
+	PointLoadValue
+)
+
+// CorruptFunc lets a fault model perturb a value as an instruction executes.
+// seq is the thread-local dynamic instruction number; the returned value
+// replaces v. A nil CorruptFunc means fault-free execution.
+type CorruptFunc func(point CorruptPoint, seq uint64, pc uint64, v uint64) uint64
+
+// Outcome describes the architectural effect of one dynamically executed
+// instruction; it is everything the timing model needs to charge cycles and
+// everything the RMT machinery needs to replicate inputs and compare
+// outputs.
+type Outcome struct {
+	Seq    uint64 // thread-local dynamic instruction number, from 0
+	PC     uint64
+	Instr  isa.Instr
+	NextPC uint64
+
+	// Taken is meaningful for conditional branches.
+	Taken bool
+
+	// Memory effects. For loads, Value is the loaded value; for stores,
+	// Value is the store data. Addr/Size are zero for non-memory ops.
+	Addr  uint64
+	Size  int
+	Value uint64
+
+	// DestVal is the value written to the destination register (loads,
+	// ALU, FP, JSR/JMP link). Valid only if Instr.HasDest().
+	DestVal uint64
+
+	Halted bool
+}
+
+// IsStore reports whether the outcome is a store.
+func (o *Outcome) IsStore() bool { return o.Instr.IsStore() }
+
+// IsLoad reports whether the outcome is a load.
+func (o *Outcome) IsLoad() bool { return o.Instr.IsLoad() }
+
+// Thread is the architectural state of one hardware thread context: PC,
+// integer and FP register files, and a store overlay onto the logical
+// program's committed memory.
+type Thread struct {
+	// ID is the hardware thread context number (for diagnostics).
+	ID int
+	// Prog is the program being executed.
+	Prog *isa.Program
+
+	PC     uint64
+	IntReg [isa.NumIntRegs]uint64
+	FPReg  [isa.NumFPRegs]uint64
+
+	// Mem is this thread's view: committed memory + private overlay.
+	Mem *Overlay
+
+	// Corrupt, when non-nil, is invoked at each corruption point.
+	Corrupt CorruptFunc
+
+	// Tolerant makes an out-of-range PC halt the thread instead of
+	// panicking. Fault-injection runs set it: a corrupted jump target can
+	// legitimately leave the code image, and the machine must survive to
+	// flag the divergence rather than crash the simulator.
+	Tolerant bool
+
+	// IORead services uncached (LDIO) loads. Device reads are
+	// side-effecting, so redundant configurations wire the leading copy to
+	// the device and the trailing copy to a replication bridge. nil reads
+	// as zero.
+	IORead func(addr uint64) uint64
+
+	// Seq counts dynamically executed instructions.
+	Seq uint64
+
+	Halted bool
+}
+
+// NewThread creates a thread at the program entry with a fresh overlay over
+// mem. The program's initial data image must already have been loaded into
+// mem (see Load).
+func NewThread(id int, prog *isa.Program, mem *Memory) *Thread {
+	return &Thread{
+		ID:   id,
+		Prog: prog,
+		PC:   prog.Entry,
+		Mem:  NewOverlay(mem),
+	}
+}
+
+// Load initialises mem with the program's data image.
+func Load(prog *isa.Program, mem *Memory) {
+	for addr, bytes := range prog.Data {
+		mem.SetBytes(addr, bytes)
+	}
+}
+
+func (t *Thread) readInt(r isa.Reg) uint64 {
+	if r == isa.ZeroReg {
+		return 0
+	}
+	return t.IntReg[r]
+}
+
+func (t *Thread) writeInt(r isa.Reg, v uint64) {
+	if r != isa.ZeroReg {
+		t.IntReg[r] = v
+	}
+}
+
+func (t *Thread) readFP(r isa.Reg) uint64 {
+	if r == isa.ZeroReg {
+		return 0
+	}
+	return t.FPReg[r]
+}
+
+func (t *Thread) writeFP(r isa.Reg, v uint64) {
+	if r != isa.ZeroReg {
+		t.FPReg[r] = v
+	}
+}
+
+func (t *Thread) corrupt(p CorruptPoint, pc uint64, v uint64) uint64 {
+	if t.Corrupt == nil {
+		return v
+	}
+	return t.Corrupt(p, t.Seq, pc, v)
+}
+
+func f64(bits uint64) float64 { return math.Float64frombits(bits) }
+func bits(f float64) uint64   { return math.Float64bits(f) }
+func boolBits(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Step functionally executes the instruction at the current PC and advances
+// architectural state. It panics if the PC is outside the program (programs
+// are validated at build time, so this indicates a simulator bug) and
+// returns a no-op outcome if the thread has halted.
+func (t *Thread) Step() Outcome {
+	if t.Halted {
+		return Outcome{Seq: t.Seq, PC: t.PC, Instr: isa.Instr{Op: isa.HALT}, NextPC: t.PC, Halted: true}
+	}
+	if t.PC >= uint64(len(t.Prog.Code)) {
+		if t.Tolerant {
+			t.Halted = true
+			return Outcome{Seq: t.Seq, PC: t.PC, Instr: isa.Instr{Op: isa.HALT}, NextPC: t.PC, Halted: true}
+		}
+		panic(fmt.Sprintf("vm: thread %d PC %d outside %q code (len %d)",
+			t.ID, t.PC, t.Prog.Name, len(t.Prog.Code)))
+	}
+	ins := t.Prog.Code[t.PC]
+	out := Outcome{Seq: t.Seq, PC: t.PC, Instr: ins, NextPC: t.PC + 1}
+
+	switch ins.Op {
+	case isa.NOP:
+
+	// Integer ALU.
+	case isa.ADD:
+		out.DestVal = t.readInt(ins.Ra) + t.readInt(ins.Rb)
+	case isa.SUB:
+		out.DestVal = t.readInt(ins.Ra) - t.readInt(ins.Rb)
+	case isa.MUL:
+		out.DestVal = t.readInt(ins.Ra) * t.readInt(ins.Rb)
+	case isa.DIV:
+		d := int64(t.readInt(ins.Rb))
+		if d == 0 {
+			out.DestVal = 0
+		} else {
+			out.DestVal = uint64(int64(t.readInt(ins.Ra)) / d)
+		}
+	case isa.MOD:
+		d := int64(t.readInt(ins.Rb))
+		if d == 0 {
+			out.DestVal = 0
+		} else {
+			out.DestVal = uint64(int64(t.readInt(ins.Ra)) % d)
+		}
+	case isa.AND:
+		out.DestVal = t.readInt(ins.Ra) & t.readInt(ins.Rb)
+	case isa.OR:
+		out.DestVal = t.readInt(ins.Ra) | t.readInt(ins.Rb)
+	case isa.XOR:
+		out.DestVal = t.readInt(ins.Ra) ^ t.readInt(ins.Rb)
+	case isa.SLL:
+		out.DestVal = t.readInt(ins.Ra) << (t.readInt(ins.Rb) & 63)
+	case isa.SRL:
+		out.DestVal = t.readInt(ins.Ra) >> (t.readInt(ins.Rb) & 63)
+	case isa.SRA:
+		out.DestVal = uint64(int64(t.readInt(ins.Ra)) >> (t.readInt(ins.Rb) & 63))
+	case isa.CMPEQ:
+		out.DestVal = boolBits(t.readInt(ins.Ra) == t.readInt(ins.Rb))
+	case isa.CMPLT:
+		out.DestVal = boolBits(int64(t.readInt(ins.Ra)) < int64(t.readInt(ins.Rb)))
+	case isa.CMPLE:
+		out.DestVal = boolBits(int64(t.readInt(ins.Ra)) <= int64(t.readInt(ins.Rb)))
+	case isa.CMPULT:
+		out.DestVal = boolBits(t.readInt(ins.Ra) < t.readInt(ins.Rb))
+
+	// Integer ALU immediate.
+	case isa.LDI:
+		out.DestVal = uint64(ins.Imm)
+	case isa.ADDI:
+		out.DestVal = t.readInt(ins.Ra) + uint64(ins.Imm)
+	case isa.MULI:
+		out.DestVal = t.readInt(ins.Ra) * uint64(ins.Imm)
+	case isa.ANDI:
+		out.DestVal = t.readInt(ins.Ra) & uint64(ins.Imm)
+	case isa.ORI:
+		out.DestVal = t.readInt(ins.Ra) | uint64(ins.Imm)
+	case isa.XORI:
+		out.DestVal = t.readInt(ins.Ra) ^ uint64(ins.Imm)
+	case isa.SLLI:
+		out.DestVal = t.readInt(ins.Ra) << (uint64(ins.Imm) & 63)
+	case isa.SRLI:
+		out.DestVal = t.readInt(ins.Ra) >> (uint64(ins.Imm) & 63)
+	case isa.SRAI:
+		out.DestVal = uint64(int64(t.readInt(ins.Ra)) >> (uint64(ins.Imm) & 63))
+	case isa.CMPEQI:
+		out.DestVal = boolBits(t.readInt(ins.Ra) == uint64(ins.Imm))
+	case isa.CMPLTI:
+		out.DestVal = boolBits(int64(t.readInt(ins.Ra)) < ins.Imm)
+
+	// Uncached I/O. The device read is side-effecting and happens here
+	// (in program order, exactly once per dynamic instance); the device
+	// WRITE is deferred to the machine (performed once, after output
+	// comparison), so STIO only computes its address and data.
+	case isa.LDIO:
+		out.Addr = t.readInt(ins.Ra) + uint64(ins.Imm)
+		out.Size = 8
+		var v uint64
+		if t.IORead != nil {
+			v = t.IORead(out.Addr)
+		}
+		out.Value = t.corrupt(PointLoadValue, t.PC, v)
+		out.DestVal = out.Value
+	case isa.STIO:
+		out.Addr = t.corrupt(PointStoreAddr, t.PC, t.readInt(ins.Ra)+uint64(ins.Imm))
+		out.Size = 8
+		out.Value = t.corrupt(PointStoreData, t.PC, t.readInt(ins.Rd))
+
+	// Memory.
+	case isa.LDQ, isa.FLDQ:
+		out.Addr = t.readInt(ins.Ra) + uint64(ins.Imm)
+		out.Size = 8
+		out.Value = t.corrupt(PointLoadValue, t.PC, t.Mem.Read64(out.Addr))
+		out.DestVal = out.Value
+	case isa.LDB:
+		out.Addr = t.readInt(ins.Ra) + uint64(ins.Imm)
+		out.Size = 1
+		out.Value = t.corrupt(PointLoadValue, t.PC, uint64(t.Mem.Byte(out.Addr)))
+		out.DestVal = out.Value
+	case isa.STQ:
+		out.Addr = t.corrupt(PointStoreAddr, t.PC, t.readInt(ins.Ra)+uint64(ins.Imm))
+		out.Size = 8
+		out.Value = t.corrupt(PointStoreData, t.PC, t.readInt(ins.Rd))
+	case isa.FSTQ:
+		out.Addr = t.corrupt(PointStoreAddr, t.PC, t.readInt(ins.Ra)+uint64(ins.Imm))
+		out.Size = 8
+		out.Value = t.corrupt(PointStoreData, t.PC, t.readFP(ins.Rd))
+	case isa.STB:
+		out.Addr = t.corrupt(PointStoreAddr, t.PC, t.readInt(ins.Ra)+uint64(ins.Imm))
+		out.Size = 1
+		out.Value = t.corrupt(PointStoreData, t.PC, t.readInt(ins.Rd)&0xff)
+
+	// Floating point.
+	case isa.FADD:
+		out.DestVal = bits(f64(t.readFP(ins.Ra)) + f64(t.readFP(ins.Rb)))
+	case isa.FSUB:
+		out.DestVal = bits(f64(t.readFP(ins.Ra)) - f64(t.readFP(ins.Rb)))
+	case isa.FMUL:
+		out.DestVal = bits(f64(t.readFP(ins.Ra)) * f64(t.readFP(ins.Rb)))
+	case isa.FDIV:
+		out.DestVal = bits(f64(t.readFP(ins.Ra)) / f64(t.readFP(ins.Rb)))
+	case isa.FSQRT:
+		out.DestVal = bits(math.Sqrt(f64(t.readFP(ins.Ra))))
+	case isa.FNEG:
+		out.DestVal = bits(-f64(t.readFP(ins.Ra)))
+	case isa.FCMPEQ:
+		out.DestVal = boolBits(f64(t.readFP(ins.Ra)) == f64(t.readFP(ins.Rb)))
+	case isa.FCMPLT:
+		out.DestVal = boolBits(f64(t.readFP(ins.Ra)) < f64(t.readFP(ins.Rb)))
+	case isa.FCMPLE:
+		out.DestVal = boolBits(f64(t.readFP(ins.Ra)) <= f64(t.readFP(ins.Rb)))
+	case isa.CVTQF:
+		out.DestVal = bits(float64(int64(t.readInt(ins.Ra))))
+	case isa.CVTFQ:
+		f := f64(t.readFP(ins.Ra))
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			out.DestVal = 0
+		} else {
+			out.DestVal = uint64(int64(f))
+		}
+	case isa.ITOF:
+		out.DestVal = t.readInt(ins.Ra)
+	case isa.FTOI:
+		out.DestVal = t.readFP(ins.Ra)
+
+	// Control.
+	case isa.BR:
+		out.Taken = true
+		out.NextPC = ins.BranchTarget(t.PC)
+	case isa.BEQ:
+		out.Taken = t.readInt(ins.Ra) == 0
+	case isa.BNE:
+		out.Taken = t.readInt(ins.Ra) != 0
+	case isa.BLT:
+		out.Taken = int64(t.readInt(ins.Ra)) < 0
+	case isa.BGE:
+		out.Taken = int64(t.readInt(ins.Ra)) >= 0
+	case isa.BGT:
+		out.Taken = int64(t.readInt(ins.Ra)) > 0
+	case isa.BLE:
+		out.Taken = int64(t.readInt(ins.Ra)) <= 0
+	case isa.JSR:
+		out.Taken = true
+		out.DestVal = t.PC + 1
+		out.NextPC = ins.BranchTarget(t.PC)
+	case isa.JMP:
+		out.Taken = true
+		out.DestVal = t.PC + 1
+		out.NextPC = t.readInt(ins.Ra)
+
+	case isa.MB:
+
+	case isa.HALT:
+		out.Halted = true
+
+	default:
+		panic(fmt.Sprintf("vm: unimplemented opcode %v at pc=%d", ins.Op, t.PC))
+	}
+
+	if ins.IsCondBranch() && out.Taken {
+		out.NextPC = ins.BranchTarget(t.PC)
+	}
+
+	// Apply the result corruption point and write back.
+	if ins.HasDest() && !ins.IsStore() {
+		out.DestVal = t.corrupt(PointResult, t.PC, out.DestVal)
+		if ins.DestIsFP() {
+			t.writeFP(ins.Rd, out.DestVal)
+		} else {
+			t.writeInt(ins.Rd, out.DestVal)
+		}
+		if ins.IsLoad() {
+			out.Value = out.DestVal
+		}
+	}
+
+	// Stores become visible to this thread's own later loads immediately
+	// (architecturally: store-queue forwarding). Uncached stores target
+	// the device, not memory; the machine performs them at drain.
+	if ins.IsStore() && !ins.IsUncached() {
+		t.Mem.Store(out.Addr, out.Value, out.Size, out.Seq)
+	}
+
+	if out.Halted {
+		t.Halted = true
+	} else {
+		t.PC = out.NextPC
+	}
+	t.Seq++
+	return out
+}
+
+// Interrupt redirects the thread to an interrupt handler, hardware-style:
+// the resume PC is saved in R30 (the interrupt link register) and execution
+// continues at handler. Handlers return with JMP through R30. Nested
+// interrupts are the caller's responsibility to avoid (the machine layers
+// schedule them far apart and never inside a handler).
+func (t *Thread) Interrupt(handler uint64) {
+	t.IntReg[30] = t.PC
+	t.PC = handler
+}
+
+// Run executes up to n instructions or until HALT, returning the number
+// executed. It is a convenience for tests and for functional (timing-free)
+// validation of programs.
+func (t *Thread) Run(n uint64) uint64 {
+	var i uint64
+	for ; i < n && !t.Halted; i++ {
+		t.Step()
+	}
+	return i
+}
