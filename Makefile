@@ -1,0 +1,21 @@
+# Tier-1: must stay green.
+verify:
+	go build ./... && go test ./...
+
+# Tier-2: static analysis + the full suite under the race detector.
+race:
+	go vet ./... && go test -race ./...
+
+# Quick end-to-end check of the parallel sweep engine: regenerate the
+# evaluation at cut-down sizes across 4 workers.
+smoke:
+	go run ./cmd/rmtbench -quick -parallel 4 >/dev/null
+
+# The acceptance invariant: -parallel 1 and -parallel 4 stdout must be
+# byte-identical.
+determinism:
+	go run ./cmd/rmtbench -quick -parallel 1 2>/dev/null > /tmp/rmtbench.p1.out
+	go run ./cmd/rmtbench -quick -parallel 4 2>/dev/null > /tmp/rmtbench.p4.out
+	cmp /tmp/rmtbench.p1.out /tmp/rmtbench.p4.out && echo "byte-identical"
+
+.PHONY: verify race smoke determinism

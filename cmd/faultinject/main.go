@@ -1,11 +1,15 @@
 // Command faultinject runs transient fault-injection campaigns against an
 // RMT machine and reports detection coverage and latency, or injects one
-// precisely-placed fault and narrates the outcome.
+// precisely-placed fault and narrates the outcome. Campaign trials are
+// independent simulations, so -parallel shards them across workers; the
+// fault plan is drawn from the seed up front and the report is identical
+// at any parallelism.
 //
 // Usage:
 //
 //	faultinject -progs compress -n 50            # campaign on SRT
 //	faultinject -mode crt -progs gcc,swim -n 20  # campaign on CRT
+//	faultinject -progs gcc -n 200 -parallel 8    # sharded campaign
 //	faultinject -one -seq 5000 -bit 7 -point storedata -target trailing
 package main
 
@@ -13,8 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/fault"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
@@ -27,8 +31,6 @@ func main() {
 		progsFlag = flag.String("progs", "compress", "comma-separated workload kernels")
 		n         = flag.Int("n", 40, "campaign size")
 		seed      = flag.Uint64("seed", 0xC0FFEE, "campaign seed")
-		budget    = flag.Uint64("budget", 20000, "measured instructions per thread")
-		warmup    = flag.Uint64("warmup", 5000, "warmup instructions")
 
 		one    = flag.Bool("one", false, "inject a single described fault instead of a campaign")
 		seq    = flag.Uint64("seq", 8000, "dynamic instruction number for -one")
@@ -36,19 +38,22 @@ func main() {
 		point  = flag.String("point", "result", "corruption point for -one: result, storedata, storeaddr, loadvalue")
 		target = flag.String("target", "leading", "copy to strike for -one: leading or trailing")
 	)
+	sf := cliflags.RegisterSim(flag.CommandLine)
 	flag.Parse()
 
-	mode := sim.ModeSRT
-	if *modeFlag == "crt" {
-		mode = sim.ModeCRT
-	} else if *modeFlag != "srt" {
+	mode, err := cliflags.ParseMode(*modeFlag)
+	if err != nil {
+		fatal(fmt.Errorf("faultinject: %w", err))
+	}
+	if mode != sim.ModeSRT && mode != sim.ModeCRT {
 		fatal(fmt.Errorf("faultinject: mode must be srt or crt"))
 	}
+	budget, warmup := sf.Sizes(20000, 5000, 8000, 2000)
 	spec := sim.Spec{
 		Mode:     mode,
-		Programs: strings.Split(*progsFlag, ","),
-		Budget:   *budget,
-		Warmup:   *warmup,
+		Programs: cliflags.SplitProgs(*progsFlag),
+		Budget:   budget,
+		Warmup:   warmup,
 		Config:   pipeline.DefaultConfig(),
 		PSR:      true,
 	}
@@ -74,7 +79,15 @@ func main() {
 		return
 	}
 
-	sum, err := fault.Campaign(spec, *n, *seed)
+	sum, err := fault.CampaignParallel(spec, *n, *seed, fault.CampaignOptions{
+		Parallelism: sf.Parallelism(),
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rtrial %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,12 +1,14 @@
 // Command rmtasm inspects workload kernels: disassembly listings, static
 // statistics, binary encodings, and a dynamic opcode/character profile from
-// functional execution.
+// functional execution. Several kernels can be inspected at once; their
+// profiles are independent functional runs, so -parallel fans them across
+// workers while the listing order stays fixed.
 //
 // Usage:
 //
-//	rmtasm -prog gcc            # disassembly + static stats
-//	rmtasm -prog swim -profile  # add a 100k-instruction dynamic profile
-//	rmtasm -prog li -hex        # include binary encodings
+//	rmtasm -progs gcc                   # disassembly + static stats
+//	rmtasm -progs swim,li -profile      # add dynamic profiles (-budget instructions)
+//	rmtasm -progs li -hex               # include binary encodings
 package main
 
 import (
@@ -15,92 +17,150 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliflags"
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/runner"
 	"repro/internal/vm"
 )
 
+// profileData is one kernel's dynamic profile.
+type profileData struct {
+	n                         uint64
+	counts                    map[string]uint64
+	loads, stores, brs, taken uint64
+}
+
 func main() {
 	var (
-		progName = flag.String("prog", "gcc", "kernel to inspect")
-		profile  = flag.Bool("profile", false, "run 100k instructions and print a dynamic profile")
-		hex      = flag.Bool("hex", false, "include binary encodings")
-		n        = flag.Uint64("n", 100000, "instructions for -profile")
+		progsFlag = flag.String("progs", "gcc", "comma-separated kernels to inspect")
+		profile   = flag.Bool("profile", false, "run a dynamic profile per kernel (-budget instructions after -warmup)")
+		hex       = flag.Bool("hex", false, "include binary encodings")
 	)
+	sf := cliflags.RegisterSim(flag.CommandLine)
 	flag.Parse()
+	budget, warmup := sf.Sizes(100000, 0, 20000, 0)
 
-	info, err := program.Get(*progName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	progs := cliflags.SplitProgs(*progsFlag)
+	if len(progs) == 0 {
+		fmt.Fprintln(os.Stderr, "rmtasm: no kernels given (-progs)")
+		os.Exit(2)
 	}
+	infos := make([]program.Info, len(progs))
+	for i, name := range progs {
+		info, err := program.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		infos[i] = info
+	}
+
+	// Profiles are independent functional runs: compute them up front
+	// across the worker pool, keyed by kernel index.
+	var profiles []profileData
+	if *profile {
+		jobs := make([]func() (profileData, error), len(infos))
+		for i := range infos {
+			info := infos[i]
+			jobs[i] = func() (profileData, error) {
+				return runProfile(info, warmup, budget), nil
+			}
+		}
+		var err error
+		profiles, _, err = runner.Run(jobs, runner.Options{Parallelism: sf.Parallelism()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for i, info := range infos {
+		if i > 0 {
+			fmt.Println()
+		}
+		p := info.Build()
+		fmt.Printf("%s (%s): %s\n", info.Name, info.Suite, info.Description)
+		fmt.Printf("code: %d instructions, data image: %d bytes, interrupt handler: %d\n\n",
+			len(p.Code), p.DataFootprint(), p.InterruptHandler)
+
+		// Static mix.
+		branches := 0
+		for _, ins := range p.Code {
+			if ins.IsBranch() {
+				branches++
+			}
+		}
+		fmt.Printf("static: %d branch sites (%.1f%% of code)\n\n",
+			branches, 100*float64(branches)/float64(len(p.Code)))
+
+		// Listing.
+		for pc, ins := range p.Code {
+			if *hex {
+				fmt.Printf("%5d  %016x  %s\n", pc, uint64(isa.MustEncode(ins)), ins)
+			} else {
+				fmt.Printf("%5d  %s\n", pc, ins)
+			}
+		}
+
+		if *profile {
+			printProfile(profiles[i])
+		}
+	}
+}
+
+// runProfile functionally executes the kernel, skipping warmup
+// instructions, then profiles budget instructions.
+func runProfile(info program.Info, warmup, budget uint64) profileData {
 	p := info.Build()
-
-	fmt.Printf("%s (%s): %s\n", info.Name, info.Suite, info.Description)
-	fmt.Printf("code: %d instructions, data image: %d bytes, interrupt handler: %d\n\n",
-		len(p.Code), p.DataFootprint(), p.InterruptHandler)
-
-	// Static mix.
-	static := map[string]int{}
-	branches := 0
-	for _, ins := range p.Code {
-		static[ins.Op.String()]++
-		if ins.IsBranch() {
-			branches++
-		}
-	}
-	fmt.Printf("static: %d branch sites (%.1f%% of code)\n\n",
-		branches, 100*float64(branches)/float64(len(p.Code)))
-
-	// Listing.
-	for pc, ins := range p.Code {
-		if *hex {
-			fmt.Printf("%5d  %016x  %s\n", pc, uint64(isa.MustEncode(ins)), ins)
-		} else {
-			fmt.Printf("%5d  %s\n", pc, ins)
-		}
-	}
-
-	if !*profile {
-		return
-	}
 	memImg := vm.NewMemory()
 	vm.Load(p, memImg)
 	th := vm.NewThread(0, p, memImg)
-	counts := map[string]uint64{}
-	var loads, stores, brs, taken uint64
-	for i := uint64(0); i < *n && !th.Halted; i++ {
+	for i := uint64(0); i < warmup && !th.Halted; i++ {
+		th.Step()
+	}
+	d := profileData{n: budget, counts: map[string]uint64{}}
+	for i := uint64(0); i < budget && !th.Halted; i++ {
 		out := th.Step()
-		counts[out.Instr.Op.String()]++
+		d.counts[out.Instr.Op.String()]++
 		switch {
 		case out.Instr.IsLoad():
-			loads++
+			d.loads++
 		case out.Instr.IsStore():
-			stores++
+			d.stores++
 		case out.Instr.IsBranch():
-			brs++
+			d.brs++
 			if out.Taken {
-				taken++
+				d.taken++
 			}
 		}
 	}
-	fmt.Printf("\ndynamic profile over %d instructions:\n", *n)
+	return d
+}
+
+func printProfile(d profileData) {
+	fmt.Printf("\ndynamic profile over %d instructions:\n", d.n)
 	fmt.Printf("  loads %.1f%%  stores %.1f%%  branches %.1f%% (%.1f%% taken)\n",
-		pct(loads, *n), pct(stores, *n), pct(brs, *n), pct(taken, brs))
+		pct(d.loads, d.n), pct(d.stores, d.n), pct(d.brs, d.n), pct(d.taken, d.brs))
 	type kv struct {
 		op string
 		n  uint64
 	}
 	var mix []kv
-	for op, c := range counts {
+	for op, c := range d.counts {
 		mix = append(mix, kv{op, c})
 	}
-	sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })
+	sort.Slice(mix, func(i, j int) bool {
+		if mix[i].n != mix[j].n {
+			return mix[i].n > mix[j].n
+		}
+		return mix[i].op < mix[j].op
+	})
 	for i, e := range mix {
 		if i >= 12 {
 			break
 		}
-		fmt.Printf("  %-8s %6.2f%%\n", e.op, pct(e.n, *n))
+		fmt.Printf("  %-8s %6.2f%%\n", e.op, pct(e.n, d.n))
 	}
 }
 

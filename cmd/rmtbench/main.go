@@ -1,11 +1,15 @@
 // Command rmtbench regenerates the paper's evaluation: every table and
-// figure in DESIGN.md's experiment index.
+// figure in DESIGN.md's experiment index. Independent simulations are
+// fanned across worker goroutines (-parallel); tables are assembled in
+// declaration order, so stdout is byte-identical at any parallelism.
+// Progress and timing go to stderr.
 //
 // Usage:
 //
 //	rmtbench                  # run everything at full size
 //	rmtbench -exp fig6,fig11  # selected experiments
 //	rmtbench -quick           # cut-down sizes (smoke)
+//	rmtbench -parallel 1      # serial execution (same output)
 package main
 
 import (
@@ -13,77 +17,103 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
-	"repro/internal/exp"
-	"repro/internal/pipeline"
-	"repro/internal/stats"
+	"repro/internal/cliflags"
+	"repro/rmt"
 )
-
-type experiment struct {
-	id   string
-	desc string
-	run  func(exp.Params) (*stats.Table, map[string]float64, error)
-}
 
 func main() {
 	var (
 		expFlag = flag.String("exp", "all", "comma-separated experiment ids (table1,fig6,...,fig12,coverage)")
-		quick   = flag.Bool("quick", false, "use cut-down sizes")
-		budget  = flag.Uint64("budget", 0, "override measured instructions per thread")
-		warmup  = flag.Uint64("warmup", 0, "override warmup instructions")
 		csvDir  = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
 	)
+	sf := cliflags.RegisterSim(flag.CommandLine)
 	flag.Parse()
 
-	p := exp.Full()
-	if *quick {
-		p = exp.Quick()
+	base := []rmt.Option{rmt.WithParallelism(sf.Parallelism())}
+	if sf.Quick {
+		base = append(base, rmt.WithQuick())
 	}
-	if *budget > 0 {
-		p.Budget = *budget
+	if sf.Budget > 0 {
+		base = append(base, rmt.WithBudget(sf.Budget))
 	}
-	if *warmup > 0 {
-		p.Warmup = *warmup
+	if sf.Warmup > 0 {
+		base = append(base, rmt.WithWarmup(sf.Warmup))
 	}
+	budget, warmup := rmt.ExperimentSizes(base...)
 
-	experiments := []experiment{
-		{"fig6", "SRT single logical thread (Base2 / SRT / ptSQ / noSC)", exp.Fig6},
-		{"fig7", "preferential space redundancy", exp.Fig7},
-		{"fig8", "SRT with two logical threads", exp.Fig8},
-		{"fig9", "store-queue lifetime and size sensitivity", exp.Fig9},
-		{"fig10", "lockstep vs CRT, one logical thread", exp.Fig10},
-		{"fig11", "lockstep vs CRT, two logical threads", exp.Fig11},
-		{"fig12", "lockstep vs CRT, four logical threads", exp.Fig12},
-		{"coverage", "fault-injection campaigns", exp.Coverage},
+	known := map[string]bool{"all": true, "table1": true}
+	for _, e := range rmt.Experiments() {
+		known[e.ID] = true
 	}
-
 	want := map[string]bool{}
 	for _, id := range strings.Split(*expFlag, ",") {
-		want[strings.TrimSpace(id)] = true
+		id = strings.TrimSpace(id)
+		if !known[id] {
+			ids := make([]string, 0, len(known))
+			for k := range known {
+				ids = append(ids, k)
+			}
+			sort.Strings(ids)
+			fmt.Fprintf(os.Stderr, "rmtbench: unknown experiment %q (have %s)\n", id, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+		want[id] = true
 	}
 	all := want["all"]
 
 	if all || want["table1"] {
-		fmt.Println(exp.Table1(pipeline.DefaultConfig()))
+		fmt.Println(rmt.Table1())
 	}
-	for _, e := range experiments {
-		if !all && !want[e.id] {
+	for _, e := range rmt.Experiments() {
+		if !all && !want[e.ID] {
 			continue
 		}
-		fmt.Printf("--- %s: %s (budget=%d warmup=%d) ---\n", e.id, e.desc, p.Budget, p.Warmup)
-		tbl, summary, err := e.run(p)
+		fmt.Printf("--- %s: %s (budget=%d warmup=%d) ---\n", e.ID, e.Description, budget, warmup)
+
+		// Progress and the parallel-speedup report are diagnostics: they
+		// depend on wall-clock timing, so they go to stderr and stdout
+		// stays byte-identical across -parallel values.
+		var agg rmt.Report
+		opts := append([]rmt.Option{}, base...)
+		opts = append(opts,
+			rmt.WithProgress(func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d simulations", e.ID, done, total)
+			}),
+			rmt.WithReport(func(r rmt.Report) {
+				agg.Jobs += r.Jobs
+				agg.Wall += r.Wall
+				agg.Busy += r.Busy
+				if r.Parallelism > agg.Parallelism {
+					agg.Parallelism = r.Parallelism
+				}
+			}))
+		start := time.Now()
+		tbl, summary, err := e.Run(opts...)
+		if agg.Jobs > 0 {
+			fmt.Fprintf(os.Stderr, "\r%s: %d simulations in %v (busy %v, speedup %.2fx, parallelism %d)\n",
+				e.ID, agg.Jobs, time.Since(start).Round(time.Millisecond),
+				agg.Busy.Round(time.Millisecond), agg.Speedup(), agg.Parallelism)
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rmtbench: %s: %v\n", e.id, err)
+			fmt.Fprintf(os.Stderr, "rmtbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		fmt.Println(tbl)
-		for _, k := range stats.SortedKeys(summary) {
-			fmt.Printf("summary %s.%s = %.4f\n", e.id, k, summary[k])
+		keys := make([]string, 0, len(summary))
+		for k := range summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("summary %s.%s = %.4f\n", e.ID, k, summary[k])
 		}
 		fmt.Println()
 		if *csvDir != "" {
-			path := filepath.Join(*csvDir, e.id+".csv")
+			path := filepath.Join(*csvDir, e.ID+".csv")
 			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "rmtbench: %v\n", err)
 				os.Exit(1)

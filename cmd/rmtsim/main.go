@@ -1,6 +1,8 @@
 // Command rmtsim runs one workload on one machine configuration and prints
 // detailed statistics: IPC, SMT-Efficiency against the base machine,
 // prediction and cache rates, queue pressure, and RMT structure activity.
+// The base-machine reference runs are independent, so -parallel fans them
+// across workers.
 //
 // Usage:
 //
@@ -14,21 +16,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/pipeline"
 	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/rmt"
 )
 
 func main() {
 	var (
 		modeFlag  = flag.String("mode", "base", "machine: base, base2, srt, lockstep, crt")
 		progsFlag = flag.String("progs", "gcc", "comma-separated workload kernels")
-		budget    = flag.Uint64("budget", 50000, "measured committed instructions per logical program")
-		warmup    = flag.Uint64("warmup", 20000, "warmup instructions before measurement")
 		ptsq      = flag.Bool("ptsq", false, "per-thread store queues")
 		psr       = flag.Bool("psr", true, "preferential space redundancy")
 		nosc      = flag.Bool("nosc", false, "disable store output comparison")
@@ -38,6 +39,7 @@ func main() {
 		noRel     = flag.Bool("norel", false, "skip the base-machine reference runs")
 		traceN    = flag.Int("trace", 0, "dump a pipeline trace of the first N retired instructions")
 	)
+	sf := cliflags.RegisterSim(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -48,17 +50,18 @@ func main() {
 		return
 	}
 
-	mode, err := parseMode(*modeFlag)
+	mode, err := cliflags.ParseMode(*modeFlag)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("rmtsim: %w", err))
 	}
-	progs := strings.Split(*progsFlag, ",")
+	budget, warmup := sf.Sizes(50000, 20000, 8000, 5000)
+	progs := cliflags.SplitProgs(*progsFlag)
 
 	spec := sim.Spec{
 		Mode:              mode,
 		Programs:          progs,
-		Budget:            *budget,
-		Warmup:            *warmup,
+		Budget:            budget,
+		Warmup:            warmup,
 		Config:            pipeline.DefaultConfig(),
 		PSR:               *psr,
 		PerThreadSQ:       *ptsq,
@@ -85,11 +88,15 @@ func main() {
 		fmt.Println()
 	}
 
-	fmt.Printf("mode=%v programs=%v warmup=%d budget=%d cycles=%d\n\n", mode, progs, *warmup, *budget, rs.Cycles)
+	fmt.Printf("mode=%v programs=%v warmup=%d budget=%d cycles=%d\n\n", mode, progs, warmup, budget, rs.Cycles)
 
 	var baseIPC map[string]float64
 	if !*noRel {
-		baseIPC, err = sim.BaseIPC(pipeline.DefaultConfig(), *warmup, *budget, progs...)
+		// The per-program reference runs are independent simulations;
+		// fan them across the worker pool through the public facade.
+		baseIPC, err = rmt.BaseIPC(progs,
+			rmt.WithBudget(budget), rmt.WithWarmup(warmup),
+			rmt.WithParallelism(sf.Parallelism()))
 		if err != nil {
 			fatal(err)
 		}
@@ -140,22 +147,6 @@ func main() {
 			100*h.L1I.MissRate(), h.L1I.Misses.Value(), h.L1I.Hits.Value()+h.L1I.Misses.Value(),
 			100*h.L1D.MissRate(), 100*h.L2.MissRate())
 	}
-}
-
-func parseMode(s string) (sim.Mode, error) {
-	switch s {
-	case "base":
-		return sim.ModeBase, nil
-	case "base2":
-		return sim.ModeBase2, nil
-	case "srt":
-		return sim.ModeSRT, nil
-	case "lockstep":
-		return sim.ModeLockstep, nil
-	case "crt":
-		return sim.ModeCRT, nil
-	}
-	return 0, fmt.Errorf("rmtsim: unknown mode %q", s)
 }
 
 func fatal(err error) {

@@ -1,10 +1,14 @@
 // CRT vs lockstepping on a two-program workload — the paper's second
-// contribution. A two-way CMP can detect faults either by lockstepping its
-// cores (identical computation every cycle, checker on every output signal)
-// or by chip-level redundant threading: leading and trailing copies on
-// different cores, cross-coupled so that each core runs one program's
-// resource-hungry leading thread next to the *other* program's cheap
-// trailing thread.
+// contribution, driven through the public rmt package. A two-way CMP can
+// detect faults either by lockstepping its cores (identical computation
+// every cycle, checker on every output signal) or by chip-level redundant
+// threading: leading and trailing copies on different cores, cross-coupled
+// so that each core runs one program's resource-hungry leading thread next
+// to the *other* program's cheap trailing thread.
+//
+// The four protected configurations are independent simulations, so they
+// are submitted as one rmt.Sweep and fan across worker goroutines; results
+// come back in input order.
 //
 //	go run ./examples/crtpair
 package main
@@ -13,42 +17,35 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/pipeline"
-	"repro/internal/sim"
+	"repro/rmt"
 )
 
 func main() {
 	progs := []string{"gcc", "swim"}
-	const budget, warmup = 30000, 30000
+	opts := []rmt.Option{rmt.WithBudget(30000), rmt.WithWarmup(30000)}
 
-	baseIPC, err := sim.BaseIPC(pipeline.DefaultConfig(), warmup, budget, progs...)
+	// Single-thread base IPCs: the SMT-Efficiency denominators.
+	baseIPC, err := rmt.BaseIPC(progs, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	runMode := func(spec sim.Spec) float64 {
-		spec.Programs = progs
-		spec.Budget = budget
-		spec.Warmup = warmup
-		spec.Config = pipeline.DefaultConfig()
-		m, err := sim.Build(spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rs, err := m.Run()
-		if err != nil {
-			log.Fatal(err)
-		}
-		// SMT-Efficiency: mean over programs of IPC / single-thread base IPC.
+	specs := []rmt.Spec{
+		{Mode: rmt.Lockstep, CheckerLatency: 8, Programs: progs}, // Lock8: realistic checker
+		{Mode: rmt.Lockstep, CheckerLatency: 0, Programs: progs}, // Lock0: ideal checker
+		{Mode: rmt.CRT, PSR: true, Programs: progs},
+		{Mode: rmt.CRT, PSR: true, PerThreadSQ: true, Programs: progs},
+	}
+	results, err := rmt.Sweep(specs, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SMT-Efficiency: mean over programs of IPC / single-thread base IPC.
+	eff := func(r *rmt.Result) float64 {
 		var sum float64
 		for i, p := range progs {
-			sum += rs.LogicalIPC[i] / baseIPC[p]
-		}
-		if spec.Mode == sim.ModeCRT {
-			for _, p := range m.Pairs {
-				fmt.Printf("   pair %d (%s): leading on core %d, trailing on core %d\n",
-					p.LogicalID, progs[p.LogicalID], p.LeadCore, p.TrailCore)
-			}
+			sum += r.IPC[i] / baseIPC[p]
 		}
 		return sum / float64(len(progs))
 	}
@@ -56,21 +53,23 @@ func main() {
 	fmt.Printf("workload: %v, both fully protected against transient faults\n\n", progs)
 
 	fmt.Println("1. lockstepped cores (Lock8: realistic 8-cycle checker):")
-	lock8 := runMode(sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 8})
-	fmt.Printf("   SMT-Efficiency: %.3f\n\n", lock8)
+	fmt.Printf("   SMT-Efficiency: %.3f\n\n", eff(results[0]))
 
 	fmt.Println("2. lockstepped cores (Lock0: ideal zero-latency checker):")
-	lock0 := runMode(sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 0})
-	fmt.Printf("   SMT-Efficiency: %.3f\n\n", lock0)
+	fmt.Printf("   SMT-Efficiency: %.3f\n\n", eff(results[1]))
 
 	fmt.Println("3. chip-level redundant threading (CRT), cross-coupled:")
-	crt := runMode(sim.Spec{Mode: sim.ModeCRT, PSR: true})
+	for i, c := range results[2].Checks {
+		fmt.Printf("   pair %d (%s): leading on core %d, trailing on core %d\n",
+			i, progs[i], c.LeadCore, c.TrailCore)
+	}
+	crt := eff(results[2])
 	fmt.Printf("   SMT-Efficiency: %.3f\n\n", crt)
 
 	fmt.Println("4. CRT with per-thread store queues:")
-	crtP := runMode(sim.Spec{Mode: sim.ModeCRT, PSR: true, PerThreadSQ: true})
-	fmt.Printf("   SMT-Efficiency: %.3f\n\n", crtP)
+	fmt.Printf("   SMT-Efficiency: %.3f\n\n", eff(results[3]))
 
+	lock8 := eff(results[0])
 	fmt.Printf("CRT outperforms the realistic lockstep machine by %.0f%%\n",
 		100*(crt/lock8-1))
 	fmt.Println("(the paper reports 13% on average, up to 22%, for such workloads)")

@@ -1,4 +1,5 @@
-// Quickstart: build one machine, run one workload, read the results.
+// Quickstart: build one machine, run one workload, read the results —
+// entirely through the public rmt package.
 //
 // This example runs the "gcc" kernel twice — once on the unprotected base
 // SMT processor and once as a redundant SRT pair — and prints the cost of
@@ -11,8 +12,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/pipeline"
-	"repro/internal/sim"
+	"repro/rmt"
 )
 
 func main() {
@@ -21,19 +21,13 @@ func main() {
 		budget   = 30000 // measured instructions
 		warmup   = 20000 // cache/predictor warmup instructions
 	)
+	opts := []rmt.Option{rmt.WithBudget(budget), rmt.WithWarmup(warmup)}
 
 	// 1. The base machine: one hardware thread, no protection.
-	base, err := sim.Build(sim.Spec{
-		Mode:     sim.ModeBase,
+	base, err := rmt.Run(rmt.Spec{
+		Mode:     rmt.Base,
 		Programs: []string{workload},
-		Budget:   budget,
-		Warmup:   warmup,
-		Config:   pipeline.DefaultConfig(),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	baseStats, err := base.Run()
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,40 +35,32 @@ func main() {
 	// 2. The same program as a redundant pair on one SMT core (SRT):
 	// leading + trailing hardware threads, inputs replicated through the
 	// load value queue, outputs compared at the store comparator.
-	srt, err := sim.Build(sim.Spec{
-		Mode:     sim.ModeSRT,
+	srt, err := rmt.Run(rmt.Spec{
+		Mode:     rmt.SRT,
 		Programs: []string{workload},
-		Budget:   budget,
-		Warmup:   warmup,
-		Config:   pipeline.DefaultConfig(),
 		PSR:      true, // preferential space redundancy (§4.5)
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	srtStats, err := srt.Run()
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	baseIPC := baseStats.LogicalIPC[0]
-	srtIPC := srtStats.LogicalIPC[0]
-	pair := srt.Pairs[0]
+	baseIPC := base.IPC[0]
+	srtIPC := srt.IPC[0]
+	checks := srt.Checks[0]
 
 	fmt.Printf("workload: %s (%d instructions measured after %d warmup)\n\n",
 		workload, budget, warmup)
-	fmt.Printf("base machine IPC:   %.3f  (%d cycles)\n", baseIPC, baseStats.Cycles)
-	fmt.Printf("SRT machine IPC:    %.3f  (%d cycles)\n", srtIPC, srtStats.Cycles)
+	fmt.Printf("base machine IPC:   %.3f  (%d cycles)\n", baseIPC, base.Cycles)
+	fmt.Printf("SRT machine IPC:    %.3f  (%d cycles)\n", srtIPC, srt.Cycles)
 	fmt.Printf("SMT-Efficiency:     %.3f  (1.0 = free fault detection)\n\n", srtIPC/baseIPC)
 
 	fmt.Printf("every output was checked before leaving the sphere of replication:\n")
 	fmt.Printf("  stores compared:   %d (mismatches: %d)\n",
-		pair.Cmp.Comparisons.Value(), pair.Cmp.Mismatches.Value())
+		checks.StoresCompared, checks.StoreMismatches)
 	fmt.Printf("  loads replicated:  %d through the load value queue\n",
-		pair.LVQ.Pushes.Value())
+		checks.LoadsReplicated)
 	fmt.Printf("  fetch chunks sent: %d through the line prediction queue\n",
-		pair.LPQ.Pushes.Value())
+		checks.FetchChunksSent)
 	fmt.Printf("  leading store-queue lifetime: %.1f cycles (base: %.1f)\n",
-		srt.Leads[0].Stats.StoreLifetime.Value(),
-		base.Leads[0].Stats.StoreLifetime.Value())
+		srt.StoreLifetime[0], base.StoreLifetime[0])
 }

@@ -1,0 +1,90 @@
+// Package cliflags centralises the flag group shared by the cmd/ tools, so
+// -budget, -warmup, -quick and -parallel spell and behave identically
+// everywhere instead of each main() hand-rolling its own copies.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Sim is the shared simulation flag group.
+type Sim struct {
+	// Budget and Warmup are instruction counts; 0 means "use the tool's
+	// full/quick default" (see Sizes).
+	Budget uint64
+	Warmup uint64
+	// Quick selects cut-down sizes.
+	Quick bool
+	// Parallel is the worker-goroutine count for independent simulations.
+	Parallel int
+}
+
+// RegisterSim installs the shared -budget/-warmup/-quick/-parallel group
+// on fs. -parallel defaults to runtime.GOMAXPROCS(0); -parallel 1
+// reproduces serial execution (results are identical either way).
+func RegisterSim(fs *flag.FlagSet) *Sim {
+	s := &Sim{}
+	fs.Uint64Var(&s.Budget, "budget", 0, "measured instructions per logical thread (0 = tool default)")
+	fs.Uint64Var(&s.Warmup, "warmup", 0, "warmup instructions before measurement (0 = tool default)")
+	fs.BoolVar(&s.Quick, "quick", false, "use cut-down sizes")
+	fs.IntVar(&s.Parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulations (1 = serial)")
+	return s
+}
+
+// Sizes resolves -budget/-warmup against the tool's defaults: explicit
+// flag values win, otherwise -quick selects the quick pair.
+func (s *Sim) Sizes(fullBudget, fullWarmup, quickBudget, quickWarmup uint64) (budget, warmup uint64) {
+	budget, warmup = fullBudget, fullWarmup
+	if s.Quick {
+		budget, warmup = quickBudget, quickWarmup
+	}
+	if s.Budget > 0 {
+		budget = s.Budget
+	}
+	if s.Warmup > 0 {
+		warmup = s.Warmup
+	}
+	return budget, warmup
+}
+
+// Parallelism resolves the -parallel value (<= 0 selects GOMAXPROCS).
+func (s *Sim) Parallelism() int {
+	if s.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Parallel
+}
+
+// ParseMode maps a -mode flag value to the machine organisation it names.
+func ParseMode(s string) (sim.Mode, error) {
+	switch s {
+	case "base":
+		return sim.ModeBase, nil
+	case "base2":
+		return sim.ModeBase2, nil
+	case "srt":
+		return sim.ModeSRT, nil
+	case "lockstep":
+		return sim.ModeLockstep, nil
+	case "crt":
+		return sim.ModeCRT, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want base, base2, srt, lockstep or crt)", s)
+}
+
+// SplitProgs splits a comma-separated -progs value, trimming spaces and
+// dropping empty elements.
+func SplitProgs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

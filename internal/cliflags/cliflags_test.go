@@ -1,0 +1,87 @@
+package cliflags
+
+import (
+	"flag"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func parse(t *testing.T, args ...string) *Sim {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s := RegisterSim(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		name           string
+		args           []string
+		budget, warmup uint64
+	}{
+		{"defaults", nil, 100, 50},
+		{"quick", []string{"-quick"}, 10, 5},
+		{"explicit", []string{"-budget", "7", "-warmup", "3"}, 7, 3},
+		{"explicit beats quick", []string{"-quick", "-budget", "7"}, 7, 5},
+	}
+	for _, c := range cases {
+		s := parse(t, c.args...)
+		if b, w := s.Sizes(100, 50, 10, 5); b != c.budget || w != c.warmup {
+			t.Errorf("%s: Sizes = %d/%d, want %d/%d", c.name, b, w, c.budget, c.warmup)
+		}
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	if got := parse(t).Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+	if got := parse(t, "-parallel", "3").Parallelism(); got != 3 {
+		t.Errorf("-parallel 3 resolved to %d", got)
+	}
+	if got := parse(t, "-parallel", "0").Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("-parallel 0 resolved to %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	want := map[string]sim.Mode{
+		"base":     sim.ModeBase,
+		"base2":    sim.ModeBase2,
+		"srt":      sim.ModeSRT,
+		"lockstep": sim.ModeLockstep,
+		"crt":      sim.ModeCRT,
+	}
+	for name, mode := range want {
+		got, err := ParseMode(name)
+		if err != nil || got != mode {
+			t.Errorf("ParseMode(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMode("sr"); err == nil {
+		t.Error("ParseMode accepted a bad mode")
+	}
+}
+
+func TestSplitProgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"gcc", []string{"gcc"}},
+		{"gcc,swim", []string{"gcc", "swim"}},
+		{" gcc , swim ,", []string{"gcc", "swim"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := SplitProgs(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitProgs(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -2,6 +2,12 @@
 // each returning a text table with the same rows and series the paper
 // reports. cmd/rmtbench and the repository's benchmarks call these.
 //
+// Every figure declares its sweep as a flat job list — one independent
+// (kernel, configuration) simulation per job — and hands it to
+// internal/runner, which fans the jobs across Params.Parallelism worker
+// goroutines. Results are keyed by job index, so tables are assembled in
+// declaration order and the output is byte-identical at any parallelism.
+//
 // Figure/table numbering follows DESIGN.md's experiment index. The paper's
 // published numbers (where the supplied text states them) are embedded in
 // the table titles for side-by-side comparison; EXPERIMENTS.md records a
@@ -10,10 +16,12 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fault"
 	"repro/internal/pipeline"
 	"repro/internal/program"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -27,6 +35,15 @@ type Params struct {
 	// CampaignRuns sizes fault-injection campaigns.
 	CampaignRuns int
 	Config       pipeline.Config
+
+	// Parallelism caps concurrent simulations (0 = GOMAXPROCS). Results
+	// are independent of this value; 1 reproduces a serial run exactly.
+	Parallelism int
+	// Progress, when non-nil, receives per-sweep completion updates
+	// (done, total jobs). Calls are serialized.
+	Progress func(done, total int)
+	// OnReport, when non-nil, receives each sweep's timing report.
+	OnReport func(runner.Report)
 }
 
 // Full returns the parameters used for the recorded results: large enough
@@ -40,33 +57,54 @@ func Quick() Params {
 	return Params{Budget: 8000, Warmup: 5000, CampaignRuns: 8, Config: pipeline.DefaultConfig()}
 }
 
-// baseCache memoises single-thread base IPCs per parameter set.
+// baseCache memoises single-thread base IPCs per parameter set. It is safe
+// for concurrent use: each kernel's reference run executes at most once
+// (single flight) and late arrivals block until the winner's result is
+// ready.
 type baseCache struct {
-	p    Params
-	ipcs map[string]float64
+	p Params
+	// compute produces one kernel's base IPC; tests stub it.
+	compute func(name string) (float64, error)
+
+	mu      sync.Mutex
+	entries map[string]*baseEntry
+}
+
+type baseEntry struct {
+	once sync.Once
+	ipc  float64
+	err  error
 }
 
 func newBaseCache(p Params) *baseCache {
-	return &baseCache{p: p, ipcs: make(map[string]float64)}
+	c := &baseCache{p: p, entries: make(map[string]*baseEntry)}
+	c.compute = func(name string) (float64, error) {
+		got, err := sim.BaseIPC(c.p.Config, c.p.Warmup, c.p.Budget, name)
+		if err != nil {
+			return 0, err
+		}
+		return got[name], nil
+	}
+	return c
 }
 
 func (c *baseCache) get(names ...string) (map[string]float64, error) {
-	var missing []string
+	out := make(map[string]float64, len(names))
 	for _, n := range names {
-		if _, ok := c.ipcs[n]; !ok {
-			missing = append(missing, n)
+		c.mu.Lock()
+		e, ok := c.entries[n]
+		if !ok {
+			e = &baseEntry{}
+			c.entries[n] = e
 		}
+		c.mu.Unlock()
+		e.once.Do(func() { e.ipc, e.err = c.compute(n) })
+		if e.err != nil {
+			return nil, e.err
+		}
+		out[n] = e.ipc
 	}
-	if len(missing) > 0 {
-		got, err := sim.BaseIPC(c.p.Config, c.p.Warmup, c.p.Budget, missing...)
-		if err != nil {
-			return nil, err
-		}
-		for k, v := range got {
-			c.ipcs[k] = v
-		}
-	}
-	return c.ipcs, nil
+	return out, nil
 }
 
 // run executes one spec and returns per-logical-thread SMT-Efficiencies and
@@ -94,6 +132,43 @@ func run(p Params, spec sim.Spec, cache *baseCache) ([]float64, *stats.RunStats,
 		}
 	}
 	return effs, rs, m, nil
+}
+
+// job is one simulation in a figure's sweep. Figures that sweep machine
+// configuration (Fig9's store-queue sizes) carry a per-job Params; the
+// base-IPC cache stays keyed to the figure's standard parameters.
+type job struct {
+	p    Params
+	spec sim.Spec
+}
+
+// result bundles what run() returns for deterministic reassembly.
+type result struct {
+	effs []float64
+	rs   *stats.RunStats
+	m    *sim.Machine
+}
+
+// sweep fans jobs across the worker pool and returns results keyed by job
+// index, so callers assemble tables in declaration order regardless of
+// completion order.
+func sweep(p Params, jobs []job, cache *baseCache) ([]result, error) {
+	fns := make([]func() (result, error), len(jobs))
+	for i := range jobs {
+		j := jobs[i]
+		fns[i] = func() (result, error) {
+			effs, rs, m, err := run(j.p, j.spec, cache)
+			if err != nil {
+				return result{}, err
+			}
+			return result{effs: effs, rs: rs, m: m}, nil
+		}
+	}
+	out, rep, err := runner.Run(fns, runner.Options{Parallelism: p.Parallelism, Progress: p.Progress})
+	if p.OnReport != nil {
+		p.OnReport(rep)
+	}
+	return out, err
 }
 
 // meanEff is the arithmetic mean over logical threads — the paper's
@@ -148,17 +223,25 @@ func Fig6(p Params) (*stats.Table, map[string]float64, error) {
 		{"SRT+ptSQ", sim.Spec{Mode: sim.ModeSRT, PSR: true, PerThreadSQ: true}},
 		{"SRT+noSC", sim.Spec{Mode: sim.ModeSRT, PSR: true, NoStoreComparison: true}},
 	}
-	sums := map[string][]float64{}
-	for _, name := range program.Names() {
-		row := []string{name}
+	names := program.Names()
+	// Job list: names x configs, row-major.
+	var jobs []job
+	for _, name := range names {
 		for _, c := range configs {
 			spec := c.spec
 			spec.Programs = []string{name}
-			effs, _, _, err := run(p, spec, cache)
-			if err != nil {
-				return nil, nil, err
-			}
-			e := meanEff(effs)
+			jobs = append(jobs, job{p, spec})
+		}
+	}
+	res, err := sweep(p, jobs, cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	sums := map[string][]float64{}
+	for ni, name := range names {
+		row := []string{name}
+		for ci, c := range configs {
+			e := meanEff(res[ni*len(configs)+ci].effs)
 			sums[c.name] = append(sums[c.name], e)
 			row = append(row, fmt.Sprintf("%.3f", e))
 		}
@@ -185,21 +268,27 @@ func Fig7(p Params) (*stats.Table, map[string]float64, error) {
 		Title:   "Figure 7: space redundancy (paper: same-FU 65% -> 0.06%, no slowdown)",
 		Columns: []string{"program", "sameHalf noPSR", "sameFU noPSR", "sameHalf PSR", "sameFU PSR", "eff noPSR", "eff PSR"},
 	}
+	names := program.Names()
+	psrs := []bool{false, true}
+	var jobs []job
+	for _, name := range names {
+		for _, psr := range psrs {
+			jobs = append(jobs, job{p, sim.Spec{Mode: sim.ModeSRT, PSR: psr, Programs: []string{name}}})
+		}
+	}
+	res, err := sweep(p, jobs, cache)
+	if err != nil {
+		return nil, nil, err
+	}
 	var aggHalfOff, aggFUOff, aggHalfOn, aggFUOn, effOff, effOn []float64
-	for _, name := range program.Names() {
-		var cells []string
-		cells = append(cells, name)
+	for ni, name := range names {
 		var halves, fus, effs [2]float64
-		for i, psr := range []bool{false, true} {
-			spec := sim.Spec{Mode: sim.ModeSRT, PSR: psr, Programs: []string{name}}
-			eff, _, m, err := run(p, spec, cache)
-			if err != nil {
-				return nil, nil, err
-			}
-			pair := m.Pairs[0]
+		for i := range psrs {
+			r := res[ni*len(psrs)+i]
+			pair := r.m.Pairs[0]
 			halves[i] = pair.SameHalfFrac()
 			fus[i] = pair.SameFUFrac()
-			effs[i] = meanEff(eff)
+			effs[i] = meanEff(r.effs)
 		}
 		aggHalfOff = append(aggHalfOff, halves[0])
 		aggFUOff = append(aggFUOff, fus[0])
@@ -207,11 +296,10 @@ func Fig7(p Params) (*stats.Table, map[string]float64, error) {
 		aggFUOn = append(aggFUOn, fus[1])
 		effOff = append(effOff, effs[0])
 		effOn = append(effOn, effs[1])
-		cells = append(cells,
+		t.AddRow(name,
 			fmt.Sprintf("%.3f", halves[0]), fmt.Sprintf("%.3f", fus[0]),
 			fmt.Sprintf("%.4f", halves[1]), fmt.Sprintf("%.4f", fus[1]),
 			fmt.Sprintf("%.3f", effs[0]), fmt.Sprintf("%.3f", effs[1]))
-		t.AddRow(cells...)
 	}
 	summary := map[string]float64{
 		"sameHalf.noPSR": stats.ArithMean(aggHalfOff),
@@ -236,26 +324,28 @@ func Fig8(p Params) (*stats.Table, map[string]float64, error) {
 		Title:   "Figure 8: SMT-Efficiency, two logical threads under SRT (paper: avg 0.60, ptSQ 0.68)",
 		Columns: []string{"pair", "Base(2 threads)", "SRT", "SRT+ptSQ"},
 	}
-	var b, s, sp []float64
-	for _, pr := range program.MultiprogramPairs() {
+	pairs := program.MultiprogramPairs()
+	var jobs []job
+	for _, pr := range pairs {
 		progs := []string{pr[0], pr[1]}
-		label := pr[0] + "+" + pr[1]
-		be, _, _, err := run(p, sim.Spec{Mode: sim.ModeBase, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		se, _, _, err := run(p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		pe, _, _, err := run(p, sim.Spec{Mode: sim.ModeSRT, PSR: true, PerThreadSQ: true, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		b = append(b, meanEff(be))
-		s = append(s, meanEff(se))
-		sp = append(sp, meanEff(pe))
-		t.AddRowf(label, meanEff(be), meanEff(se), meanEff(pe))
+		jobs = append(jobs,
+			job{p, sim.Spec{Mode: sim.ModeBase, Programs: progs}},
+			job{p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}},
+			job{p, sim.Spec{Mode: sim.ModeSRT, PSR: true, PerThreadSQ: true, Programs: progs}})
+	}
+	res, err := sweep(p, jobs, cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	var b, s, sp []float64
+	for pi, pr := range pairs {
+		be := meanEff(res[pi*3].effs)
+		se := meanEff(res[pi*3+1].effs)
+		pe := meanEff(res[pi*3+2].effs)
+		b = append(b, be)
+		s = append(s, se)
+		sp = append(sp, pe)
+		t.AddRowf(pr[0]+"+"+pr[1], be, se, pe)
 	}
 	summary := map[string]float64{
 		"base2t": stats.ArithMean(b),
@@ -275,46 +365,48 @@ func Fig9(p Params) (*stats.Table, map[string]float64, error) {
 		Title:   "Figure 9: store-queue lifetime and size sensitivity (paper: SRT adds ~39 cycles)",
 		Columns: []string{"program", "base life", "SRT life", "delta", "eff SQ=32", "eff SQ=48", "eff SQ=64", "eff ptSQ"},
 	}
-	var deltas []float64
-	effSums := map[int][]float64{32: nil, 48: nil, 64: nil, -1: nil}
-	for _, name := range program.Names() {
+	names := program.Names()
+	sqSizes := []int{32, 48, 64}
+	perName := 3 + len(sqSizes) // base, SRT, SQ sweep..., ptSQ
+	var jobs []job
+	for _, name := range names {
 		progs := []string{name}
-		// Lifetimes.
-		_, brs, bm, err := run(p, sim.Spec{Mode: sim.ModeBase, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		_, srs, sm, err := run(p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		_ = brs
-		_ = srs
-		baseLife := bm.Leads[0].Stats.StoreLifetime.Value()
-		srtLife := sm.Leads[0].Stats.StoreLifetime.Value()
-		delta := srtLife - baseLife
-		deltas = append(deltas, delta)
-
-		cells := []string{name, fmt.Sprintf("%.1f", baseLife), fmt.Sprintf("%.1f", srtLife), fmt.Sprintf("%+.1f", delta)}
-		for _, sq := range []int{32, 48, 64} {
+		jobs = append(jobs,
+			job{p, sim.Spec{Mode: sim.ModeBase, Programs: progs}},
+			job{p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}})
+		for _, sq := range sqSizes {
 			cfg := p.Config
 			cfg.SQCap = sq * 2 // statically divided between the two contexts
 			pp := p
 			pp.Config = cfg
-			// The base reference must stay the standard machine.
-			eff, _, _, err := run(pp, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}, cache)
-			if err != nil {
-				return nil, nil, err
-			}
-			effSums[sq] = append(effSums[sq], meanEff(eff))
-			cells = append(cells, fmt.Sprintf("%.3f", meanEff(eff)))
+			// The base reference must stay the standard machine: the
+			// shared cache is keyed to the figure's standard Params.
+			jobs = append(jobs, job{pp, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: progs}})
 		}
-		eff, _, _, err := run(p, sim.Spec{Mode: sim.ModeSRT, PSR: true, PerThreadSQ: true, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
+		jobs = append(jobs, job{p, sim.Spec{Mode: sim.ModeSRT, PSR: true, PerThreadSQ: true, Programs: progs}})
+	}
+	res, err := sweep(p, jobs, cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	var deltas []float64
+	effSums := map[int][]float64{32: nil, 48: nil, 64: nil, -1: nil}
+	for ni, name := range names {
+		row := res[ni*perName : (ni+1)*perName]
+		baseLife := row[0].m.Leads[0].Stats.StoreLifetime.Value()
+		srtLife := row[1].m.Leads[0].Stats.StoreLifetime.Value()
+		delta := srtLife - baseLife
+		deltas = append(deltas, delta)
+
+		cells := []string{name, fmt.Sprintf("%.1f", baseLife), fmt.Sprintf("%.1f", srtLife), fmt.Sprintf("%+.1f", delta)}
+		for si, sq := range sqSizes {
+			e := meanEff(row[2+si].effs)
+			effSums[sq] = append(effSums[sq], e)
+			cells = append(cells, fmt.Sprintf("%.3f", e))
 		}
-		effSums[-1] = append(effSums[-1], meanEff(eff))
-		cells = append(cells, fmt.Sprintf("%.3f", meanEff(eff)))
+		e := meanEff(row[perName-1].effs)
+		effSums[-1] = append(effSums[-1], e)
+		cells = append(cells, fmt.Sprintf("%.3f", e))
 		t.AddRow(cells...)
 	}
 	summary := map[string]float64{
@@ -337,8 +429,21 @@ func lockCRTTable(p Params, title string, groups [][]string) (*stats.Table, map[
 		Title:   title,
 		Columns: []string{"workload", "Lock0", "Lock8", "CRT", "CRT+ptSQ"},
 	}
-	var l0s, l8s, cs, cps []float64
+	const perGroup = 4
+	var jobs []job
 	for _, progs := range groups {
+		jobs = append(jobs,
+			job{p, sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 0, Programs: progs}},
+			job{p, sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 8, Programs: progs}},
+			job{p, sim.Spec{Mode: sim.ModeCRT, PSR: true, Programs: progs}},
+			job{p, sim.Spec{Mode: sim.ModeCRT, PSR: true, PerThreadSQ: true, Programs: progs}})
+	}
+	res, err := sweep(p, jobs, cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	var l0s, l8s, cs, cps []float64
+	for gi, progs := range groups {
 		label := ""
 		for i, n := range progs {
 			if i > 0 {
@@ -346,27 +451,15 @@ func lockCRTTable(p Params, title string, groups [][]string) (*stats.Table, map[
 			}
 			label += n
 		}
-		l0, _, _, err := run(p, sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 0, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		l8, _, _, err := run(p, sim.Spec{Mode: sim.ModeLockstep, CheckerLatency: 8, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		c, _, _, err := run(p, sim.Spec{Mode: sim.ModeCRT, PSR: true, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		cp, _, _, err := run(p, sim.Spec{Mode: sim.ModeCRT, PSR: true, PerThreadSQ: true, Programs: progs}, cache)
-		if err != nil {
-			return nil, nil, err
-		}
-		l0s = append(l0s, meanEff(l0))
-		l8s = append(l8s, meanEff(l8))
-		cs = append(cs, meanEff(c))
-		cps = append(cps, meanEff(cp))
-		t.AddRowf(label, meanEff(l0), meanEff(l8), meanEff(c), meanEff(cp))
+		l0 := meanEff(res[gi*perGroup].effs)
+		l8 := meanEff(res[gi*perGroup+1].effs)
+		c := meanEff(res[gi*perGroup+2].effs)
+		cp := meanEff(res[gi*perGroup+3].effs)
+		l0s = append(l0s, l0)
+		l8s = append(l8s, l8)
+		cs = append(cs, c)
+		cps = append(cps, cp)
+		t.AddRowf(label, l0, l8, c, cp)
 	}
 	summary := map[string]float64{
 		"lock0":    stats.ArithMean(l0s),
@@ -409,7 +502,11 @@ func Fig12(p Params) (*stats.Table, map[string]float64, error) {
 
 // Coverage runs transient fault-injection campaigns on SRT and CRT and
 // reports detection coverage plus the permanent-fault space-redundancy
-// measurements (no unmasked fault may escape output comparison).
+// measurements (no unmasked fault may escape output comparison). Campaigns
+// are the longest-running sweep in the evaluation, so each one shards its
+// injection trials across Params.Parallelism workers; the fault plan is
+// drawn from the seed before any trial runs, so the outcome counts are
+// identical at any parallelism.
 func Coverage(p Params) (*stats.Table, map[string]float64, error) {
 	t := &stats.Table{
 		Title:   "Coverage: transient injection campaigns + permanent-fault space redundancy",
@@ -426,7 +523,8 @@ func Coverage(p Params) (*stats.Table, map[string]float64, error) {
 				Budget: p.Budget / 2, Warmup: p.Warmup / 2,
 				Config: p.Config, PSR: true,
 			}
-			sum, err := fault.Campaign(spec, p.CampaignRuns/len(kernels)+1, 0xABCD^uint64(len(k)))
+			sum, err := fault.CampaignParallel(spec, p.CampaignRuns/len(kernels)+1, 0xABCD^uint64(len(k)),
+				fault.CampaignOptions{Parallelism: p.Parallelism, Progress: p.Progress, OnReport: p.OnReport})
 			if err != nil {
 				return nil, nil, err
 			}

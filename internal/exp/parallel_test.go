@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBaseCacheConcurrent is the regression test for the data race the
+// serial evaluation left latent: baseCache.get used to read/write an
+// unsynchronized map, which -race flags as soon as two jobs share a cache.
+// It also pins the single-flight contract: a kernel's reference run
+// executes exactly once no matter how many goroutines ask for it.
+func TestBaseCacheConcurrent(t *testing.T) {
+	cache := newBaseCache(quick())
+	var computes atomic.Int64
+	cache.compute = func(name string) (float64, error) {
+		computes.Add(1)
+		return float64(len(name)), nil
+	}
+
+	names := []string{"gcc", "swim", "fpppp", "li"}
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				got, err := cache.get(names...)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				for _, n := range names {
+					if got[n] != float64(len(n)) {
+						errs[g] = fmt.Errorf("got[%s] = %v, want %v", n, got[n], float64(len(n)))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := computes.Load(), int64(len(names)); got != want {
+		t.Errorf("compute ran %d times, want %d (single flight per kernel)", got, want)
+	}
+}
+
+// TestBaseCacheErrorPropagates: a failing reference run surfaces its error
+// to every waiter and is not silently cached as a zero IPC.
+func TestBaseCacheErrorPropagates(t *testing.T) {
+	cache := newBaseCache(quick())
+	cache.compute = func(name string) (float64, error) {
+		return 0, fmt.Errorf("no reference for %s", name)
+	}
+	if _, err := cache.get("gcc"); err == nil {
+		t.Fatal("expected an error from the failing compute")
+	}
+	// Second call must see the same error (the entry memoises failure
+	// rather than pretending IPC 0 succeeded).
+	if _, err := cache.get("gcc"); err == nil {
+		t.Fatal("expected the memoised error on re-get")
+	}
+}
+
+// TestParallelDeterminism is the headline invariant of the sweep engine:
+// the rendered tables — every cell, every mean — are identical whether the
+// jobs run serially or fanned across workers, for both a figure sweep and
+// a sharded fault-injection campaign.
+func TestParallelDeterminism(t *testing.T) {
+	tiny := quick()
+	tiny.Budget = 2000
+	tiny.Warmup = 1000
+	tiny.CampaignRuns = 6
+
+	experiments := []struct {
+		name string
+		run  func(Params) (string, error)
+	}{
+		{"fig6", func(p Params) (string, error) {
+			tbl, _, err := Fig6(p)
+			if err != nil {
+				return "", err
+			}
+			return tbl.String(), nil
+		}},
+		{"coverage", func(p Params) (string, error) {
+			tbl, _, err := Coverage(p)
+			if err != nil {
+				return "", err
+			}
+			return tbl.String(), nil
+		}},
+	}
+	for _, e := range experiments {
+		serial := tiny
+		serial.Parallelism = 1
+		parallel := tiny
+		parallel.Parallelism = 8
+
+		want, err := e.run(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", e.name, err)
+		}
+		got, err := e.run(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel output differs from serial\n--- serial ---\n%s--- parallel ---\n%s", e.name, want, got)
+		}
+	}
+}
+
+// TestSweepErrorPropagation: a failing job inside a figure sweep surfaces
+// its error instead of a partial table.
+func TestSweepErrorPropagation(t *testing.T) {
+	p := quick()
+	p.Parallelism = 4
+	cache := newBaseCache(p)
+	good := sim.Spec{Mode: sim.ModeBase, Programs: []string{"gcc"}}
+	bad := sim.Spec{Mode: sim.ModeBase, Programs: []string{"no-such-kernel"}}
+	jobs := []job{{p, good}, {p, bad}, {p, good}}
+	if _, err := sweep(p, jobs, cache); err == nil {
+		t.Fatal("expected the unknown-kernel job to fail the sweep")
+	}
+}

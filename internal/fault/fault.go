@@ -15,6 +15,7 @@ package fault
 import (
 	"fmt"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vm"
 )
@@ -157,33 +158,78 @@ func (r *rng) next() uint64 {
 	return x
 }
 
-// Campaign runs n injection trials against the configuration described by
-// spec (which must be an RMT mode: SRT or CRT). Each trial builds a fresh
-// machine, injects one transient at a pseudo-random point after warmup, and
-// classifies the outcome.
-func Campaign(spec sim.Spec, n int, seed uint64) (*CampaignSummary, error) {
-	if spec.Mode != sim.ModeSRT && spec.Mode != sim.ModeCRT {
-		return nil, fmt.Errorf("fault: campaign requires an RMT mode, got %v", spec.Mode)
-	}
-	spec.StopOnDetection = true
+// Plan draws the deterministic fault sequence a campaign over spec with
+// this seed injects: trial i of the campaign injects Plan(spec, n, seed)[i].
+// Drawing the whole plan from the serial generator before any trial runs is
+// what lets CampaignParallel shard trials across workers without changing
+// a single outcome.
+func Plan(spec sim.Spec, n int, seed uint64) []Transient {
 	r := rng(seed | 1)
-	sum := &CampaignSummary{}
 	points := []vm.CorruptPoint{vm.PointResult, vm.PointStoreData, vm.PointLoadValue, vm.PointStoreAddr}
-	var totalLatency uint64
-	for i := 0; i < n; i++ {
-		f := Transient{
+	faults := make([]Transient, n)
+	for i := range faults {
+		faults[i] = Transient{
 			Logical: int(r.next()) % max(len(spec.Programs), 1),
 			Target:  Copy(r.next() % 2),
 			AtSeq:   spec.Warmup/2 + r.next()%(spec.Warmup/2+spec.Budget/2+1),
 			Point:   points[r.next()%uint64(len(points))],
 			Bit:     uint(r.next() % 64),
 		}
-		res, err := RunOne(spec, f)
-		if err != nil {
-			return nil, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
+	}
+	return faults
+}
+
+// Campaign runs n injection trials against the configuration described by
+// spec (which must be an RMT mode: SRT or CRT). Each trial builds a fresh
+// machine, injects one transient at a pseudo-random point after warmup, and
+// classifies the outcome. Trials run serially; use CampaignParallel to
+// shard them across workers.
+func Campaign(spec sim.Spec, n int, seed uint64) (*CampaignSummary, error) {
+	return CampaignParallel(spec, n, seed, CampaignOptions{Parallelism: 1})
+}
+
+// CampaignOptions configure how CampaignParallel schedules its trials.
+type CampaignOptions struct {
+	// Parallelism caps concurrent trials (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
+	// Progress, when non-nil, receives (done, total) trial counts.
+	Progress func(done, total int)
+	// OnReport, when non-nil, receives the campaign's timing report.
+	OnReport func(runner.Report)
+}
+
+// CampaignParallel runs the same campaign as Campaign with the injection
+// trials sharded across a worker pool. Each trial builds its own machine,
+// the fault plan is fixed before the first trial starts, and results are
+// keyed by trial index — so the summary, including per-trial outcome
+// order, is identical at any parallelism.
+func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (*CampaignSummary, error) {
+	if spec.Mode != sim.ModeSRT && spec.Mode != sim.ModeCRT {
+		return nil, fmt.Errorf("fault: campaign requires an RMT mode, got %v", spec.Mode)
+	}
+	spec.StopOnDetection = true
+	faults := Plan(spec, n, seed)
+	jobs := make([]func() (Result, error), n)
+	for i := range faults {
+		i, f := i, faults[i]
+		jobs[i] = func() (Result, error) {
+			res, err := RunOne(spec, f)
+			if err != nil {
+				return Result{}, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
+			}
+			return res, nil
 		}
-		sum.Runs++
-		sum.Results = append(sum.Results, res)
+	}
+	results, rep, err := runner.Run(jobs, runner.Options{Parallelism: opts.Parallelism, Progress: opts.Progress})
+	if opts.OnReport != nil {
+		opts.OnReport(rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sum := &CampaignSummary{Runs: n, Results: results}
+	var totalLatency uint64
+	for _, res := range results {
 		switch res.Outcome {
 		case Detected:
 			sum.Detected++

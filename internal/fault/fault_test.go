@@ -168,3 +168,48 @@ func TestCampaignRejectsNonRMTModes(t *testing.T) {
 		t.Error("campaign on base mode should error")
 	}
 }
+
+// TestCampaignParallelMatchesSerial: sharding trials across workers must
+// not change a single outcome — the fault plan is drawn from the seed
+// before any trial runs and results are keyed by trial index.
+func TestCampaignParallelMatchesSerial(t *testing.T) {
+	spec := faultSpec(sim.ModeSRT, "compress")
+	serial, err := Campaign(spec, 8, 0xBEEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := CampaignParallel(spec, 8, 0xBEEF, CampaignOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Detected != parallel.Detected || serial.Masked != parallel.Masked ||
+		serial.NotFired != parallel.NotFired || serial.Runs != parallel.Runs ||
+		serial.MeanDetectionCycles != parallel.MeanDetectionCycles {
+		t.Fatalf("summaries differ:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	for i := range serial.Results {
+		if serial.Results[i] != parallel.Results[i] {
+			t.Fatalf("trial %d differs: %+v vs %+v", i, serial.Results[i], parallel.Results[i])
+		}
+	}
+}
+
+// TestPlanDeterministic: the campaign's fault plan is a pure function of
+// (spec sizing, n, seed).
+func TestPlanDeterministic(t *testing.T) {
+	spec := faultSpec(sim.ModeSRT, "gcc", "swim")
+	a := Plan(spec, 10, 7)
+	b := Plan(spec, 10, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan entry %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A longer plan extends the shorter one: trial i does not depend on n.
+	c := Plan(spec, 20, 7)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("plan entry %d changed when n grew: %v vs %v", i, a[i], c[i])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package runner schedules independent simulation jobs across a worker
+// pool. The paper's evaluation is embarrassingly parallel — every
+// (kernel, configuration) simulation is independent — so the experiment
+// drivers declare their job lists and hand them here instead of looping
+// inline.
+//
+// Determinism contract: results are keyed by job index, not completion
+// order, so callers that assemble tables from the returned slice produce
+// byte-identical output at any parallelism. On failure the error with the
+// lowest job index is returned — the same error a serial run would have
+// stopped on.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configure one Run.
+type Options struct {
+	// Parallelism is the worker-goroutine count; values <= 0 select
+	// runtime.GOMAXPROCS(0). 1 reproduces a serial run exactly.
+	Parallelism int
+	// Progress, when non-nil, is called after each job finishes with the
+	// number of completed jobs and the total. Calls are serialized and
+	// done is strictly increasing.
+	Progress func(done, total int)
+}
+
+// Report describes how a Run spent its time.
+type Report struct {
+	// Jobs is the number of jobs submitted; Ran counts those that
+	// actually executed (fewer than Jobs only when an error cancelled
+	// the remainder).
+	Jobs, Ran int
+	// Parallelism is the resolved worker count.
+	Parallelism int
+	// Wall is the elapsed wall-clock time of the Run; Busy is the summed
+	// duration of the individual jobs — approximately what a serial run
+	// would have cost.
+	Wall, Busy time.Duration
+}
+
+// Speedup returns Busy/Wall — the effective parallel speedup over a
+// serial execution of the same jobs.
+func (r Report) Speedup() float64 {
+	if r.Wall <= 0 || r.Busy <= 0 {
+		return 1
+	}
+	return float64(r.Busy) / float64(r.Wall)
+}
+
+// Add merges another report into r (for aggregating across sweeps).
+func (r *Report) Add(o Report) {
+	r.Jobs += o.Jobs
+	r.Ran += o.Ran
+	if o.Parallelism > r.Parallelism {
+		r.Parallelism = o.Parallelism
+	}
+	r.Wall += o.Wall
+	r.Busy += o.Busy
+}
+
+// Run executes jobs across a worker pool and returns their results in job
+// order. The first job error (lowest index among jobs that ran) cancels
+// all not-yet-started jobs and is returned; in-flight jobs run to
+// completion. A nil error guarantees every result slot is populated.
+func Run[T any](jobs []func() (T, error), opts Options) ([]T, Report, error) {
+	n := len(jobs)
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	durs := make([]time.Duration, n)
+
+	var (
+		mu     sync.Mutex // guards next, done, failed, Progress calls
+		next   int
+		done   int
+		failed bool
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	finish := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			failed = true
+		}
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, n)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				t0 := time.Now()
+				v, err := jobs[i]()
+				durs[i] = time.Since(t0)
+				if err != nil {
+					errs[i] = err
+				} else {
+					results[i] = v
+				}
+				finish(i, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := Report{Jobs: n, Ran: done, Parallelism: workers, Wall: time.Since(start)}
+	for _, d := range durs {
+		rep.Busy += d
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+	return results, rep, nil
+}

@@ -1,0 +1,340 @@
+// Package rmt is the public face of the simulator: build and run redundant
+// multithreading machines, fan sweeps of independent simulations across
+// worker goroutines, and regenerate the paper's evaluation — without
+// touching the internal packages.
+//
+// A simulation is described by a Spec (which machine, which programs) and
+// sized by functional options:
+//
+//	res, err := rmt.Run(
+//		rmt.Spec{Mode: rmt.SRT, PSR: true, Programs: []string{"gcc"}},
+//		rmt.WithBudget(30000), rmt.WithWarmup(20000))
+//
+// Sweeps of independent specs run in parallel and return results in input
+// order, so output built from them is deterministic at any parallelism:
+//
+//	results, err := rmt.Sweep(specs, rmt.WithParallelism(4))
+//
+// The paper's tables and figures are exposed through Experiments().
+package rmt
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/program"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Mode selects the machine organisation.
+type Mode int
+
+// Machine organisations (see the package-level docs of internal/sim and
+// DESIGN.md for the microarchitectural detail).
+const (
+	// Base is the unprotected base SMT processor.
+	Base Mode = iota
+	// Base2 runs two independent copies of each program with no coupling
+	// (Figure 6's reference point).
+	Base2
+	// SRT runs each program as a leading/trailing redundant pair on one
+	// core.
+	SRT
+	// Lockstep models two cycle-synchronised cores with a central
+	// checker; CheckerLatency selects Lock0 vs Lock8.
+	Lockstep
+	// CRT runs leading and trailing copies on different cores of a
+	// two-way CMP, cross-coupled for multiprogram workloads.
+	CRT
+)
+
+func (m Mode) String() string {
+	im, err := m.internal()
+	if err != nil {
+		return "mode?"
+	}
+	return im.String()
+}
+
+func (m Mode) internal() (sim.Mode, error) {
+	switch m {
+	case Base:
+		return sim.ModeBase, nil
+	case Base2:
+		return sim.ModeBase2, nil
+	case SRT:
+		return sim.ModeSRT, nil
+	case Lockstep:
+		return sim.ModeLockstep, nil
+	case CRT:
+		return sim.ModeCRT, nil
+	}
+	return 0, fmt.Errorf("rmt: unknown mode %d", int(m))
+}
+
+// ParseMode maps a mode name ("base", "base2", "srt", "lockstep", "crt")
+// to its Mode — the inverse of Mode.String, shared by the cmd/ tools.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{Base, Base2, SRT, Lockstep, CRT} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("rmt: unknown mode %q (want base, base2, srt, lockstep or crt)", s)
+}
+
+// Spec selects a machine organisation and workload. Sizing (budget,
+// warmup) and execution policy (parallelism) are supplied as Options, not
+// mutated into the struct.
+type Spec struct {
+	Mode Mode
+	// Programs names the workload kernels (see Kernels()); each runs as
+	// one logical thread.
+	Programs []string
+	// PSR enables preferential space redundancy (§4.5). The paper
+	// enables it for all results after Figure 7.
+	PSR bool
+	// PerThreadSQ gives each hardware thread a private store queue.
+	PerThreadSQ bool
+	// NoStoreComparison disables output comparison (Figure 6's SRT+nosc).
+	NoStoreComparison bool
+	// CheckerLatency is the lockstep checker delay in cycles (0 = Lock0,
+	// 8 = Lock8). Ignored outside Lockstep mode.
+	CheckerLatency uint64
+}
+
+// config collects the option-controlled execution parameters.
+type config struct {
+	budget      uint64 // 0 = default
+	warmup      uint64 // 0 = default
+	quick       bool
+	parallelism int
+	progress    func(done, total int)
+	report      func(Report)
+}
+
+// Default sizes for Run/Sweep/BaseIPC when no WithBudget/WithWarmup option
+// is given: long enough for steady-state behaviour at interactive cost.
+const (
+	DefaultBudget uint64 = 30000
+	DefaultWarmup uint64 = 20000
+)
+
+func newConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c config) sizes() (budget, warmup uint64) {
+	budget, warmup = DefaultBudget, DefaultWarmup
+	if c.quick {
+		budget, warmup = 8000, 5000
+	}
+	if c.budget > 0 {
+		budget = c.budget
+	}
+	if c.warmup > 0 {
+		warmup = c.warmup
+	}
+	return budget, warmup
+}
+
+// Option configures Run, Sweep, BaseIPC and Experiment.Run.
+type Option func(*config)
+
+// WithBudget sets the measured committed instructions per logical thread.
+func WithBudget(b uint64) Option { return func(c *config) { c.budget = b } }
+
+// WithWarmup sets the warmup instructions executed before measurement.
+func WithWarmup(w uint64) Option { return func(c *config) { c.warmup = w } }
+
+// WithParallelism caps the worker goroutines a sweep fans its independent
+// simulations across. n <= 0 selects runtime.GOMAXPROCS(0); 1 runs
+// serially. Results never depend on this value.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithQuick selects the cut-down experiment sizes used by tests and smoke
+// runs. Explicit WithBudget/WithWarmup still win.
+func WithQuick() Option { return func(c *config) { c.quick = true } }
+
+// WithProgress installs a callback receiving (done, total) job counts as a
+// sweep advances. Calls are serialized.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithReport installs a callback receiving each sweep's timing Report.
+func WithReport(fn func(Report)) Option { return func(c *config) { c.report = fn } }
+
+// Report describes how a sweep spent its time.
+type Report struct {
+	// Jobs is the number of independent simulations; Parallelism the
+	// resolved worker count.
+	Jobs, Parallelism int
+	// Wall is elapsed wall-clock time; Busy the summed per-job time —
+	// approximately a serial run's cost.
+	Wall, Busy time.Duration
+}
+
+// Speedup returns Busy/Wall — the effective speedup over a serial run.
+func (r Report) Speedup() float64 {
+	return runner.Report{Wall: r.Wall, Busy: r.Busy}.Speedup()
+}
+
+func fromRunnerReport(r runner.Report) Report {
+	return Report{Jobs: r.Jobs, Parallelism: r.Parallelism, Wall: r.Wall, Busy: r.Busy}
+}
+
+// PairChecks aggregates one redundant pair's sphere-of-replication
+// activity: everything that crossed the boundary was replicated on the way
+// in and compared on the way out.
+type PairChecks struct {
+	// StoresCompared counts output comparisons at the store comparator;
+	// StoreMismatches counts detected divergences (0 in fault-free runs).
+	StoresCompared, StoreMismatches uint64
+	// LoadsReplicated counts leading-load values forwarded to the
+	// trailing copy through the load value queue.
+	LoadsReplicated uint64
+	// FetchChunksSent counts fetch chunks steered through the line
+	// prediction queue.
+	FetchChunksSent uint64
+	// LeadCore and TrailCore locate the two copies (they differ under
+	// CRT).
+	LeadCore, TrailCore int
+	// SameHalfFrac and SameFUFrac measure space redundancy: the fraction
+	// of corresponding instruction pairs sharing an issue-queue half or
+	// functional unit.
+	SameHalfFrac, SameFUFrac float64
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	// Spec echoes the input.
+	Spec Spec
+	// Cycles is the simulated cycle count.
+	Cycles uint64
+	// IPC holds, per logical program, the measured copy's committed
+	// instructions per cycle.
+	IPC []float64
+	// StoreLifetime holds, per logical program, the mean cycles a
+	// (leading) store spends in the store queue.
+	StoreLifetime []float64
+	// Checks holds, per redundant pair, the sphere-of-replication
+	// activity. Empty for non-redundant modes.
+	Checks []PairChecks
+}
+
+// Run executes the single simulation described by spec.
+func Run(spec Spec, opts ...Option) (*Result, error) {
+	return runOne(spec, newConfig(opts))
+}
+
+// Sweep executes the independent simulations described by specs across a
+// worker pool and returns their results in input order — byte-identical
+// assembly at any parallelism. The first failure cancels unstarted jobs.
+func Sweep(specs []Spec, opts ...Option) ([]*Result, error) {
+	c := newConfig(opts)
+	jobs := make([]func() (*Result, error), len(specs))
+	for i := range specs {
+		s := specs[i]
+		jobs[i] = func() (*Result, error) { return runOne(s, c) }
+	}
+	results, rep, err := runner.Run(jobs, runner.Options{Parallelism: c.parallelism, Progress: c.progress})
+	if c.report != nil {
+		c.report(fromRunnerReport(rep))
+	}
+	return results, err
+}
+
+// BaseIPC runs each named program alone on the unprotected base machine —
+// the SMT-Efficiency denominator — fanning the reference runs across
+// workers.
+func BaseIPC(programs []string, opts ...Option) (map[string]float64, error) {
+	var names []string
+	seen := map[string]bool{}
+	for _, n := range programs {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	specs := make([]Spec, len(names))
+	for i, n := range names {
+		specs[i] = Spec{Mode: Base, Programs: []string{n}}
+	}
+	results, err := Sweep(specs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(names))
+	for i, n := range names {
+		out[n] = results[i].IPC[0]
+	}
+	return out, nil
+}
+
+// Kernels lists the workload suite: the paper's 18 SPEC CPU95-analog
+// kernels, sorted.
+func Kernels() []string { return program.Names() }
+
+// Parallelism resolves an option-style parallelism value: n if positive,
+// otherwise runtime.GOMAXPROCS(0).
+func Parallelism(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func runOne(spec Spec, c config) (*Result, error) {
+	im, err := spec.Mode.internal()
+	if err != nil {
+		return nil, err
+	}
+	budget, warmup := c.sizes()
+	m, err := sim.Build(sim.Spec{
+		Mode:              im,
+		Programs:          spec.Programs,
+		Budget:            budget,
+		Warmup:            warmup,
+		Config:            pipeline.DefaultConfig(),
+		PSR:               spec.PSR,
+		PerThreadSQ:       spec.PerThreadSQ,
+		NoStoreComparison: spec.NoStoreComparison,
+		CheckerLatency:    spec.CheckerLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Spec:   spec,
+		Cycles: rs.Cycles,
+		IPC:    rs.LogicalIPC,
+	}
+	for _, lead := range m.Leads {
+		res.StoreLifetime = append(res.StoreLifetime, lead.Stats.StoreLifetime.Value())
+	}
+	for _, p := range m.Pairs {
+		res.Checks = append(res.Checks, PairChecks{
+			StoresCompared:  p.Cmp.Comparisons.Value(),
+			StoreMismatches: p.Cmp.Mismatches.Value(),
+			LoadsReplicated: p.LVQ.Pushes.Value(),
+			FetchChunksSent: p.LPQ.Pushes.Value(),
+			LeadCore:        p.LeadCore,
+			TrailCore:       p.TrailCore,
+			SameHalfFrac:    p.SameHalfFrac(),
+			SameFUFrac:      p.SameFUFrac(),
+		})
+	}
+	return res, nil
+}
