@@ -2,9 +2,16 @@
 verify:
 	go build ./... && go test ./...
 
-# Tier-2: static analysis + the full suite under the race detector.
+# Tier-2: the full suite under the race detector.
 race:
-	go vet ./... && go test -race ./...
+	go test -race ./...
+
+# Static analysis: go vet plus rmtlint (determinism/layering/shared-state
+# analyzers over the Go sources, then the program verifier over every
+# registered kernel).
+lint:
+	go vet ./...
+	go run ./cmd/rmtlint ./...
 
 # Quick end-to-end check of the parallel sweep engine: regenerate the
 # evaluation at cut-down sizes across 4 workers.
@@ -18,4 +25,4 @@ determinism:
 	go run ./cmd/rmtbench -quick -parallel 4 2>/dev/null > /tmp/rmtbench.p4.out
 	cmp /tmp/rmtbench.p1.out /tmp/rmtbench.p4.out && echo "byte-identical"
 
-.PHONY: verify race smoke determinism
+.PHONY: verify race lint smoke determinism

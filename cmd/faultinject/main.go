@@ -19,10 +19,10 @@ import (
 	"os"
 
 	"repro/internal/cliflags"
-	"repro/internal/fault"
-	"repro/internal/pipeline"
-	"repro/internal/sim"
-	"repro/internal/vm"
+	"repro/internal/fault"    //rmtlint:allow layering — drives the fault-campaign engine, not yet exposed via the facade
+	"repro/internal/pipeline" //rmtlint:allow layering — per-run pipeline Config knobs, not yet exposed via the facade
+	"repro/internal/sim"      //rmtlint:allow layering — builds Spec variants the facade does not cover
+	"repro/internal/vm"       //rmtlint:allow layering — names architectural corruption points for -point
 )
 
 func main() {

@@ -4,24 +4,34 @@
 // profiles are independent functional runs, so -parallel fans them across
 // workers while the listing order stays fixed.
 //
-// Usage:
+// -check runs the static program verifier (the Layer-2 half of rmtlint)
+// over every selected program before anything is emitted: a malformed
+// program is rejected with pc-level diagnostics on stderr and no output is
+// written. -o serialises a single program to a binary image; -bin loads an
+// image in place of the registered kernels, so images round-trip through
+// the same listing, profiling and verification paths:
 //
 //	rmtasm -progs gcc                   # disassembly + static stats
 //	rmtasm -progs swim,li -profile      # add dynamic profiles (-budget instructions)
 //	rmtasm -progs li -hex               # include binary encodings
+//	rmtasm -progs gcc -check -o gcc.img # verify, then write a binary image
+//	rmtasm -bin gcc.img -check          # reload and re-verify the image
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
+	"repro/internal/analysis" //rmtlint:allow layering — runs the program verifier standalone, pc-level issue access
 	"repro/internal/cliflags"
-	"repro/internal/isa"
-	"repro/internal/program"
-	"repro/internal/runner"
-	"repro/internal/vm"
+	"repro/internal/isa"     //rmtlint:allow layering — assembler/disassembler tool works on raw instructions
+	"repro/internal/program" //rmtlint:allow layering — lists and builds the kernel registry directly
+	"repro/internal/runner"  //rmtlint:allow layering — fans dynamic profiles across workers
+	"repro/internal/vm"      //rmtlint:allow layering — functional execution for dynamic profiles
 )
 
 // profileData is one kernel's dynamic profile.
@@ -36,24 +46,85 @@ func main() {
 		progsFlag = flag.String("progs", "gcc", "comma-separated kernels to inspect")
 		profile   = flag.Bool("profile", false, "run a dynamic profile per kernel (-budget instructions after -warmup)")
 		hex       = flag.Bool("hex", false, "include binary encodings")
+		check     = flag.Bool("check", false, "statically verify each program; reject malformed ones before writing any output")
+		binFile   = flag.String("bin", "", "inspect a binary program image instead of registered kernels")
+		outFile   = flag.String("o", "", "write the (single) selected program as a binary image")
 	)
 	sf := cliflags.RegisterSim(flag.CommandLine)
 	flag.Parse()
 	budget, warmup := sf.Sizes(100000, 0, 20000, 0)
 
-	progs := cliflags.SplitProgs(*progsFlag)
-	if len(progs) == 0 {
-		fmt.Fprintln(os.Stderr, "rmtasm: no kernels given (-progs)")
-		os.Exit(2)
-	}
-	infos := make([]program.Info, len(progs))
-	for i, name := range progs {
-		info, err := program.Get(name)
+	var infos []program.Info
+	if *binFile != "" {
+		f, err := os.Open(*binFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "rmtasm:", err)
 			os.Exit(1)
 		}
-		infos[i] = info
+		name := strings.TrimSuffix(filepath.Base(*binFile), filepath.Ext(*binFile))
+		p, err := isa.ReadImage(f, name)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmtasm:", err)
+			os.Exit(1)
+		}
+		infos = []program.Info{{
+			Name:        name,
+			Suite:       "image",
+			Description: "binary program image " + *binFile,
+			Build:       func() *isa.Program { return p },
+		}}
+	} else {
+		progs := cliflags.SplitProgs(*progsFlag)
+		if len(progs) == 0 {
+			fmt.Fprintln(os.Stderr, "rmtasm: no kernels given (-progs)")
+			os.Exit(2)
+		}
+		infos = make([]program.Info, len(progs))
+		for i, name := range progs {
+			info, err := program.Get(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			infos[i] = info
+		}
+	}
+
+	// Static verification gates everything: a malformed program produces
+	// diagnostics on stderr and no listing, image or profile.
+	if *check {
+		bad := 0
+		for _, info := range infos {
+			for _, issue := range analysis.VerifyProgram(info.Build()) {
+				fmt.Fprintf(os.Stderr, "rmtasm: %s: %s\n", info.Name, issue)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "rmtasm: %d issue(s); refusing to emit output\n", bad)
+			os.Exit(1)
+		}
+	}
+
+	if *outFile != "" {
+		if len(infos) != 1 {
+			fmt.Fprintln(os.Stderr, "rmtasm: -o needs exactly one program")
+			os.Exit(2)
+		}
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmtasm:", err)
+			os.Exit(1)
+		}
+		err = isa.WriteImage(f, infos[0].Build())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmtasm:", err)
+			os.Exit(1)
+		}
 	}
 
 	// Profiles are independent functional runs: compute them up front

@@ -91,7 +91,7 @@ func main() {
 					agg.Parallelism = r.Parallelism
 				}
 			}))
-		start := time.Now()
+		start := time.Now() //rmtlint:allow determinism — stderr-only wall-clock reporting; stdout stays byte-identical
 		tbl, summary, err := e.Run(opts...)
 		if agg.Jobs > 0 {
 			fmt.Fprintf(os.Stderr, "\r%s: %d simulations in %v (busy %v, speedup %.2fx, parallelism %d)\n",

@@ -1,0 +1,101 @@
+// Command rmtlint is the repo's two-layer static checker, the engine behind
+// `make lint`.
+//
+// Layer 1 runs the Go analyzers from internal/analysis (determinism,
+// layering, sharedstate) over the module's packages. Layer 2 runs the ISA
+// program verifier over every registered workload kernel, so a kernel that
+// regresses structurally (orphaned block, never-written register read,
+// wild immediate) fails the build rather than the experiment.
+//
+// Usage:
+//
+//	rmtlint ./...            # whole module + every kernel
+//	rmtlint ./internal/sim   # selected packages (kernels still checked)
+//	rmtlint -nokernels ./... # Layer 1 only
+//
+// Exit status is 0 when nothing is flagged, 1 otherwise; diagnostics are
+// file:line: [check] message. A finding that is legitimate by design is
+// suppressed at the site with a //rmtlint:allow <check> directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis" //rmtlint:allow layering — the linter drives the analysis engine directly
+	"repro/rmt"
+)
+
+func main() {
+	nokernels := flag.Bool("nokernels", false, "skip the Layer-2 kernel verification")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := analysis.NewLoader(root, modPath)
+
+	var paths []string
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := loader.Packages()
+			if err != nil {
+				fatal(err)
+			}
+			paths = append(paths, all...)
+		default:
+			path, err := loader.PathOf(strings.TrimSuffix(arg, "/"))
+			if err != nil {
+				fatal(err)
+			}
+			paths = append(paths, path)
+		}
+	}
+
+	bad := 0
+	for _, path := range paths {
+		pass, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range analysis.RunAnalyzers(pass, analysis.Analyzers()) {
+			fmt.Println(d)
+			bad++
+		}
+	}
+
+	if !*nokernels {
+		for _, name := range rmt.Kernels() {
+			issues, err := rmt.CheckKernel(name)
+			if err != nil {
+				fatal(err)
+			}
+			for _, issue := range issues {
+				fmt.Printf("kernel %s: %s\n", name, issue)
+				bad++
+			}
+		}
+	}
+
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "rmtlint: %d issue(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmtlint:", err)
+	os.Exit(2)
+}

@@ -18,11 +18,11 @@ import (
 	"os"
 
 	"repro/internal/cliflags"
-	"repro/internal/pipeline"
-	"repro/internal/program"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/internal/pipeline" //rmtlint:allow layering — per-run pipeline Config knobs, not yet exposed via the facade
+	"repro/internal/program"  //rmtlint:allow layering — kernel descriptions for -list
+	"repro/internal/sim"      //rmtlint:allow layering — single-run machine introspection beyond the facade Result
+	"repro/internal/stats"    //rmtlint:allow layering — prints the full RunStats breakdown
+	"repro/internal/trace"    //rmtlint:allow layering — cycle-trace writer is a debugging tool, not facade API
 	"repro/rmt"
 )
 

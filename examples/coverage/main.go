@@ -17,8 +17,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/pipeline"
-	"repro/internal/sim"
+	"repro/internal/pipeline" //rmtlint:allow layering — example demonstrates internal machine construction
+	"repro/internal/sim"      //rmtlint:allow layering — example demonstrates internal machine construction
 )
 
 func main() {

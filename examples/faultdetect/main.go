@@ -18,10 +18,10 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/fault"
-	"repro/internal/pipeline"
-	"repro/internal/sim"
-	"repro/internal/vm"
+	"repro/internal/fault"    //rmtlint:allow layering — example demonstrates the internal fault-injection hooks
+	"repro/internal/pipeline" //rmtlint:allow layering — example demonstrates internal machine construction
+	"repro/internal/sim"      //rmtlint:allow layering — example demonstrates internal machine construction
+	"repro/internal/vm"       //rmtlint:allow layering — names the corruption point being injected
 )
 
 func main() {

@@ -1,0 +1,194 @@
+// Package analysis is the repo's static-analysis layer: the machinery behind
+// `make lint` and cmd/rmtlint. It has two halves.
+//
+// Layer 1 analyzes the Go source of the simulator itself. Three analyzers
+// enforce the invariants the paper's methodology rests on: Determinism (no
+// wall-clock, global randomness, or iteration-order-dependent output on the
+// canonical-stdout path), Layering (the package import DAG is the one
+// DESIGN.md draws), and SharedState (no package-level mutable state in
+// simulation packages — the class of bug behind the old exp.baseCache race).
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// shape (Analyzer / Pass / Diagnostic) but is self-contained: it builds with
+// the standard library only, type-checking packages from source.
+//
+// Layer 2 analyzes programs written in the simulator's own ISA:
+// VerifyProgram (progverify.go) builds a CFG for an isa.Program and checks
+// branch targets, reachability, register def-before-use, hardwired-zero
+// writes, statically-derivable memory bounds and halt structure. It is
+// exposed publicly as rmt.CheckProgram and drives `rmtasm -check`.
+//
+// A finding at a site that is legitimate by design is suppressed with a
+// directive comment on (or immediately above) the flagged line:
+//
+//	start := time.Now() //rmtlint:allow determinism — stderr-only timing
+//
+// The token after "allow" names the check; everything after it is the
+// human justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding from a Layer-1 analyzer.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Check is the analyzer name ("determinism", "layering", "sharedstate");
+	// it is the token an //rmtlint:allow directive must name to suppress
+	// the finding.
+	Check string
+	// Message states the defect.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// Analyzer is one Layer-1 check.
+type Analyzer struct {
+	// Name is the check name used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and returns its findings. Findings at
+	// allowed sites are filtered by the framework, not by Run.
+	Run func(p *Pass) []Diagnostic
+}
+
+// Pass carries one type-checked package through the analyzers.
+type Pass struct {
+	// Fset positions for Files.
+	Fset *token.FileSet
+	// Path is the package import path (e.g. "repro/internal/sim").
+	Path string
+	// Files are the package's non-test source files, with comments.
+	Files []*ast.File
+	// Pkg and Info hold the type-checking result. Info is best-effort:
+	// loading tolerates type errors so the linter can still run on code
+	// `go build` will reject with a better message.
+	Pkg  *types.Package
+	Info *types.Info
+
+	// allows maps filename -> line -> set of allowed check names.
+	allows map[string]map[int]map[string]bool
+}
+
+// DirectivePrefix introduces an allow directive inside a comment.
+const DirectivePrefix = "rmtlint:allow"
+
+// scanAllows indexes every //rmtlint:allow directive by file and line.
+func (p *Pass) scanAllows() {
+	p.allows = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(text[len(DirectivePrefix):])
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				check := fields[0]
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.allows[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					p.allows[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					byLine[pos.Line] = set
+				}
+				set[check] = true
+			}
+		}
+	}
+}
+
+// allowed reports whether a finding of the given check at pos is suppressed
+// by a directive on the same line or the line immediately above it (the
+// latter supports a directive as a standalone comment over the site).
+func (p *Pass) allowed(check string, pos token.Position) bool {
+	byLine := p.allows[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if byLine[line][check] {
+			return true
+		}
+	}
+	return false
+}
+
+// typeOf returns the type of an expression, or nil when type information is
+// unavailable (best-effort checking).
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// pkgNameOf resolves an identifier to the import path of the package it
+// names, or "" if it is not a package qualifier.
+func (p *Pass) pkgNameOf(id *ast.Ident) string {
+	if p.Info == nil {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// Analyzers returns the Layer-1 suite in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, Layering, SharedState}
+}
+
+// RunAnalyzers applies the given analyzers to one loaded package and returns
+// the surviving (un-allowed) findings sorted by position.
+func RunAnalyzers(p *Pass, analyzers []*Analyzer) []Diagnostic {
+	if p.allows == nil {
+		p.scanAllows()
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(p) {
+			if p.allowed(d.Check, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}

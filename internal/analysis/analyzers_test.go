@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runOn type-checks one fixture package given as source text and returns
+// the surviving findings of the whole Layer-1 suite.
+func runOn(t *testing.T, path string, src string) []Diagnostic {
+	t.Helper()
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	pass, err := l.LoadSource(path, map[string]string{"fixture.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunAnalyzers(pass, Analyzers())
+}
+
+func hasDiag(diags []Diagnostic, check, msgPart string) bool {
+	for _, d := range diags {
+		if d.Check == check && strings.Contains(d.Message, msgPart) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDeterminismTimeNow(t *testing.T) {
+	diags := runOn(t, "repro/internal/sim", `
+package sim
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	if !hasDiag(diags, "determinism", "time.Now") {
+		t.Fatalf("want time.Now finding, got %v", diags)
+	}
+}
+
+func TestDeterminismAllowDirective(t *testing.T) {
+	diags := runOn(t, "repro/internal/sim", `
+package sim
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() //rmtlint:allow determinism — test fixture
+}
+`)
+	if hasDiag(diags, "determinism", "time.Now") {
+		t.Fatalf("allow directive did not suppress: %v", diags)
+	}
+}
+
+func TestDeterminismGlobalRand(t *testing.T) {
+	diags := runOn(t, "repro/internal/sim", `
+package sim
+
+import "math/rand"
+
+func pick() int      { return rand.Intn(10) }
+func local() *rand.Rand { return rand.New(rand.NewSource(1)) }
+`)
+	if !hasDiag(diags, "determinism", "math/rand.Intn") {
+		t.Fatalf("want global-rand finding, got %v", diags)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "rand.New") {
+			t.Fatalf("local generator construction flagged: %v", d)
+		}
+	}
+}
+
+func TestDeterminismMapRangePrint(t *testing.T) {
+	diags := runOn(t, "repro/internal/sim", `
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func bad(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func good(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`)
+	if !hasDiag(diags, "determinism", "fmt.Printf inside map iteration") {
+		t.Fatalf("want map-range print finding, got %v", diags)
+	}
+	if !hasDiag(diags, "determinism", "strings.Builder.WriteString inside map iteration") {
+		t.Fatalf("want builder finding, got %v", diags)
+	}
+	if !hasDiag(diags, "determinism", "string concatenation inside map iteration") {
+		t.Fatalf("want concat finding, got %v", diags)
+	}
+	// The collect-and-sort idiom in good() must survive: exactly the three
+	// bad sites and nothing more.
+	n := 0
+	for _, d := range diags {
+		if d.Check == "determinism" {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("want exactly 3 determinism findings, got %d: %v", n, diags)
+	}
+}
+
+func TestDeterminismGoroutineAppend(t *testing.T) {
+	diags := runOn(t, "repro/internal/sim", `
+package sim
+
+import "sync"
+
+func bad(jobs []func() int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, j()) // ordered by completion
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func good(jobs []func() int) []int {
+	out := make([]int, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := []int{j()}
+			local = append(local, 0) // append to goroutine-local slice: fine
+			out[i] = local[0]
+		}()
+	}
+	wg.Wait()
+	return out
+}
+`)
+	if !hasDiag(diags, "determinism", `append to captured "out"`) {
+		t.Fatalf("want goroutine-append finding, got %v", diags)
+	}
+	if hasDiag(diags, "determinism", `append to captured "local"`) {
+		t.Fatalf("goroutine-local append flagged: %v", diags)
+	}
+}
+
+func TestLayeringBackEdge(t *testing.T) {
+	// isa is layer 0: importing the layer-2 pipeline is a back edge.
+	diags := runOn(t, "repro/internal/isa", `
+package isa
+
+import _ "repro/internal/pipeline"
+`)
+	if !hasDiag(diags, "layering", "strictly down the DAG") {
+		t.Fatalf("want layering finding, got %v", diags)
+	}
+}
+
+func TestLayeringBinaryRestriction(t *testing.T) {
+	diags := runOn(t, "repro/cmd/fixture", `
+package main
+
+import (
+	_ "repro/internal/sim"
+	_ "repro/rmt"
+	_ "repro/internal/cliflags"
+)
+
+func main() {}
+`)
+	if !hasDiag(diags, "layering", "may import only the rmt facade") {
+		t.Fatalf("want binary-restriction finding, got %v", diags)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "not repro/rmt") || strings.Contains(d.Message, "not repro/internal/cliflags") {
+			t.Fatalf("facade/cliflags import flagged: %v", d)
+		}
+	}
+}
+
+func TestLayeringUnknownPackage(t *testing.T) {
+	diags := runOn(t, "repro/internal/sim", `
+package sim
+
+import _ "repro/internal/nonesuch"
+`)
+	if !hasDiag(diags, "layering", "no layer assignment") {
+		t.Fatalf("want unknown-package finding, got %v", diags)
+	}
+}
+
+func TestSharedStatePackageVar(t *testing.T) {
+	diags := runOn(t, "repro/internal/sim", `
+package sim
+
+import "errors"
+
+var cache = map[string]int{}          // flagged
+var ErrBadSpec = errors.New("bad")    // sentinel: exempt
+var table = [4]int{1, 2, 3, 4}        //rmtlint:allow sharedstate — read-only fixture
+`)
+	if !hasDiag(diags, "sharedstate", "package-level var cache") {
+		t.Fatalf("want sharedstate finding for cache, got %v", diags)
+	}
+	if hasDiag(diags, "sharedstate", "ErrBadSpec") {
+		t.Fatalf("error sentinel flagged: %v", diags)
+	}
+	if hasDiag(diags, "sharedstate", "package-level var table") {
+		t.Fatalf("allow directive did not suppress: %v", diags)
+	}
+}
+
+func TestSharedStateToolingPackagesExempt(t *testing.T) {
+	diags := runOn(t, "repro/internal/runner", `
+package runner
+
+var pool = map[string]int{}
+`)
+	if hasDiag(diags, "sharedstate", "") {
+		t.Fatalf("tooling package flagged: %v", diags)
+	}
+}
+
+// TestRepoIsClean runs the full Layer-1 suite over every package of the
+// module — the same sweep `make lint` does — and requires zero findings.
+func TestRepoIsClean(t *testing.T) {
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	paths, err := l.Packages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pass, err := l.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range RunAnalyzers(pass, Analyzers()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

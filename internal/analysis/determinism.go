@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism flags constructs that can make canonical output depend on
+// anything but the simulation inputs: wall-clock reads, the process-global
+// math/rand state, map iteration feeding formatted output or string
+// building, and appends to captured slices from goroutines (completion
+// order). The sweep engine's contract — byte-identical stdout at any
+// parallelism — survives only if none of these reach the output path;
+// legitimate diagnostics-only sites carry //rmtlint:allow determinism.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock, global randomness and iteration-order-dependent output",
+	Run:  runDeterminism,
+}
+
+// fmtPrinters is the fmt formatting family whose output ordering matters.
+var fmtPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// randConstructors are the math/rand functions that build local generators
+// rather than touching process-global state.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(pos),
+			Check:   "determinism",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg, name, ok := p.pkgCall(n); ok {
+					switch {
+					case pkg == "time" && name == "Now":
+						report(n.Pos(), "time.Now: wall-clock must not influence canonical output")
+					case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+						report(n.Pos(), "math/rand.%s uses process-global state; use a locally-seeded *rand.Rand", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if t := p.typeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRangeBody(p, n, report)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineAppends(p, lit, report)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// pkgCall matches a call of the form pkg.Name(...) where pkg is an imported
+// package qualifier, returning the package's import path and the name.
+func (p *Pass) pkgCall(call *ast.CallExpr) (pkg, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	path := p.pkgNameOf(id)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// checkMapRangeBody flags output-building inside the body of a range over a
+// map: the iteration order is randomized per run, so anything formatted or
+// concatenated inside the loop is nondeterministic. Collecting into a slice
+// and sorting first is the sanctioned idiom and is not flagged.
+func checkMapRangeBody(p *Pass, rng *ast.RangeStmt, report func(token.Pos, string, ...any)) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := p.pkgCall(n); ok && pkg == "fmt" && fmtPrinters[name] {
+				report(n.Pos(), "fmt.%s inside map iteration: order is randomized; collect keys and sort first", name)
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isWriterMethod(sel.Sel.Name) {
+				if t := p.typeOf(sel.X); t != nil && isStringBuilderLike(t) {
+					report(n.Pos(), "%s.%s inside map iteration: order is randomized; collect keys and sort first",
+						builderName(t), sel.Sel.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := p.typeOf(n.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation inside map iteration: order is randomized; collect keys and sort first")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isWriterMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// isStringBuilderLike matches strings.Builder and bytes.Buffer receivers
+// (optionally behind a pointer) — the string-building sinks whose content
+// order is the output order.
+func isStringBuilderLike(t types.Type) bool {
+	return builderName(t) != ""
+}
+
+func builderName(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	switch full {
+	case "strings.Builder", "bytes.Buffer":
+		return full
+	}
+	return ""
+}
+
+// checkGoroutineAppends flags `x = append(x, ...)` inside a go-statement
+// function literal when x is captured from the enclosing scope: goroutine
+// completion order then dictates element order. Index-assignment into a
+// pre-sized slice (results[i] = v) is the deterministic idiom and passes.
+func checkGoroutineAppends(p *Pass, lit *ast.FuncLit, report func(token.Pos, string, ...any)) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(p, call) || i >= len(asg.Lhs) {
+				continue
+			}
+			id, ok := asg.Lhs[i].(*ast.Ident)
+			if !ok || p.Info == nil {
+				continue
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				obj = p.Info.Defs[id]
+			}
+			if obj == nil {
+				continue
+			}
+			// Captured iff declared outside the literal's body.
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				report(asg.Pos(), "append to captured %q inside a goroutine: completion order decides element order; index into a pre-sized slice instead", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if p.Info == nil {
+		return true
+	}
+	_, builtin := p.Info.Uses[id].(*types.Builtin)
+	return builtin
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/program"
+	"repro/rmt"
+)
+
+// TestEveryKernelVerifies is the Layer-2 half of `make lint` as a test:
+// all 18 registered kernels — both suites — must pass the static program
+// verifier clean, through the public facade.
+func TestEveryKernelVerifies(t *testing.T) {
+	names := program.Names()
+	if len(names) == 0 {
+		t.Fatal("no kernels registered")
+	}
+	for _, name := range names {
+		issues, err := rmt.CheckKernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, issue := range issues {
+			t.Errorf("kernel %s: %s", name, issue)
+		}
+		if err := rmt.CheckProgram(program.MustBuild(name)); err != nil {
+			t.Errorf("CheckProgram(%s): %v", name, err)
+		}
+	}
+}
+
+func TestCheckKernelUnknown(t *testing.T) {
+	if _, err := rmt.CheckKernel("nonesuch"); err == nil {
+		t.Fatal("want error for unknown kernel")
+	}
+}
+
+func TestCheckProgramReportsIssues(t *testing.T) {
+	p := program.MustBuild("gcc")
+	// Orphan the entry path's first instruction target by truncating: a
+	// malformed variant must produce a non-nil, multi-line error.
+	p.Code = p.Code[:len(p.Code)-1]
+	if err := rmt.CheckProgram(p); err == nil {
+		t.Fatal("want error for truncated kernel")
+	}
+}

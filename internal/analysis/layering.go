@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Layering enforces the import DAG DESIGN.md draws for the simulator:
+//
+//	layer 0  isa, stats, runner            (leaves: no repro imports)
+//	layer 1  vm, program, predict, mem, rmt (branch/LVQ/SQ queues), analysis
+//	layer 2  pipeline
+//	layer 3  lockstep, sim, trace
+//	layer 4  fault, cliflags
+//	layer 5  exp
+//	layer 6  rmt facade (and the repro doc package)
+//
+// A package may import only packages on a strictly lower layer, so cycles
+// and layer-skipping back-edges are impossible by construction. cmd/ and
+// examples/ binaries sit above everything but are restricted to the public
+// facade (repro/rmt) plus repro/internal/cliflags; a binary that must reach
+// internal machinery the facade does not expose carries an
+// //rmtlint:allow layering directive on the import line stating why.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "enforce the package import DAG",
+	Run:  runLayering,
+}
+
+// ModPath is the module path the layer map below is keyed under.
+const ModPath = "repro"
+
+// layerOf assigns every first-party package its layer. Packages absent from
+// the map are flagged: growing the tree means placing new packages in the
+// DAG deliberately.
+var layerOf = map[string]int{
+	ModPath:                        6,
+	ModPath + "/internal/isa":      0,
+	ModPath + "/internal/stats":    0,
+	ModPath + "/internal/runner":   0,
+	ModPath + "/internal/vm":       1,
+	ModPath + "/internal/program":  1,
+	ModPath + "/internal/predict":  1,
+	ModPath + "/internal/mem":      1,
+	ModPath + "/internal/rmt":      1,
+	ModPath + "/internal/analysis": 1,
+	ModPath + "/internal/pipeline": 2,
+	ModPath + "/internal/lockstep": 3,
+	ModPath + "/internal/sim":      3,
+	ModPath + "/internal/trace":    3,
+	ModPath + "/internal/fault":    4,
+	ModPath + "/internal/cliflags": 4,
+	ModPath + "/internal/exp":      5,
+	ModPath + "/rmt":               6,
+}
+
+// binaryAllowed is the import set open to cmd/ and examples/ packages.
+var binaryAllowed = map[string]bool{
+	ModPath + "/rmt":               true,
+	ModPath + "/internal/cliflags": true,
+}
+
+func isBinaryPath(path string) bool {
+	return strings.HasPrefix(path, ModPath+"/cmd/") ||
+		strings.HasPrefix(path, ModPath+"/examples/")
+}
+
+func runLayering(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	report := func(spec *ast.ImportSpec, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(spec.Pos()),
+			Check:   "layering",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	selfBinary := isBinaryPath(p.Path)
+	selfLayer, selfKnown := layerOf[p.Path]
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			dep, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || (dep != ModPath && !strings.HasPrefix(dep, ModPath+"/")) {
+				continue // stdlib: out of scope
+			}
+			if isBinaryPath(dep) {
+				report(spec, "import of binary package %s: binaries are leaves of the DAG", dep)
+				continue
+			}
+			depLayer, depKnown := layerOf[dep]
+			if !depKnown {
+				report(spec, "import of %s, which has no layer assignment: add it to the layer map in internal/analysis/layering.go", dep)
+				continue
+			}
+			if selfBinary {
+				if !binaryAllowed[dep] {
+					report(spec, "%s may import only the rmt facade and cliflags, not %s (layer %d): expose what it needs through the facade or justify with an allow directive", p.Path, dep, depLayer)
+				}
+				continue
+			}
+			if !selfKnown {
+				report(spec, "package %s has no layer assignment: add it to the layer map in internal/analysis/layering.go", p.Path)
+				continue
+			}
+			if depLayer >= selfLayer {
+				report(spec, "%s (layer %d) may not import %s (layer %d): imports must point strictly down the DAG", p.Path, selfLayer, dep, depLayer)
+			}
+		}
+	}
+	return out
+}

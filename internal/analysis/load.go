@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one module from source, with no
+// dependency on export data or external tooling: imports inside the module
+// are resolved against the module directory and type-checked recursively;
+// everything else (the standard library — the module has no third-party
+// dependencies) is handled by the stdlib source importer.
+type Loader struct {
+	// ModRoot is the module root directory; ModPath its module path.
+	ModRoot, ModPath string
+	// Fset is shared across every package the loader touches.
+	Fset *token.FileSet
+
+	std   types.ImporterFrom
+	cache map[string]*loaded
+}
+
+type loaded struct {
+	pass *Pass
+	err  error
+}
+
+// NewLoader returns a loader for the module rooted at modRoot.
+func NewLoader(modRoot, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModRoot: modRoot,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:   make(map[string]*loaded),
+	}
+}
+
+// Dir maps an import path inside the module to its directory.
+func (l *Loader) Dir(path string) string {
+	rel := strings.TrimPrefix(path, l.ModPath)
+	rel = strings.TrimPrefix(rel, "/")
+	return filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+}
+
+// PathOf maps a directory inside the module to its import path.
+func (l *Loader) PathOf(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModRoot)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import implements types.Importer for module-internal packages, recursing
+// through the loader, and delegates the rest to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Load parses and type-checks the package at the given module-internal
+// import path. Results are memoized. Type errors are tolerated (the build
+// tier reports them better); parse errors are not.
+func (l *Loader) Load(path string) (*Pass, error) {
+	if got, ok := l.cache[path]; ok {
+		return got.pass, got.err
+	}
+	// Pre-claim the slot to fail fast on import cycles instead of
+	// recursing forever (the layering analyzer reports the cycle's cause).
+	l.cache[path] = &loaded{err: fmt.Errorf("analysis: import cycle through %s", path)}
+	pass, err := l.load(path)
+	l.cache[path] = &loaded{pass: pass, err: err}
+	return pass, err
+}
+
+func (l *Loader) load(path string) (*Pass, error) {
+	dir := l.Dir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.Fset.Position(files[i].Pos()).Filename < l.Fset.Position(files[j].Pos()).Filename
+	})
+	return l.check(path, files)
+}
+
+// LoadSource type-checks a package given directly as file name -> source
+// text. Tests use it to run analyzers over fixture programs without
+// touching the filesystem.
+func (l *Loader) LoadSource(path string, sources map[string]string) (*Pass, error) {
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, sources[name], parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return l.check(path, files)
+}
+
+func (l *Loader) check(path string, files []*ast.File) (*Pass, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // best-effort: partial Info is enough
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	return &Pass{
+		Fset:  l.Fset,
+		Path:  path,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+	}, nil
+}
+
+// ModuleRoot walks upward from dir to the nearest go.mod and returns its
+// directory and module path.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return d, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Packages lists every package directory under the module root (directories
+// containing at least one non-test .go file), as import paths, sorted.
+func (l *Loader) Packages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		path, err := l.PathOf(dir)
+		if err != nil {
+			return err
+		}
+		if len(paths) == 0 || paths[len(paths)-1] != path {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	// WalkDir visits files of one directory consecutively, but dedupe
+	// defensively in case of interleaving.
+	out := paths[:0]
+	for i, p := range paths {
+		if i == 0 || paths[i-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

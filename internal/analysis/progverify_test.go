@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// hasIssue reports whether any issue matches the check name and, when
+// msgPart is non-empty, contains it.
+func hasIssue(issues []ProgramIssue, check, msgPart string) bool {
+	for _, i := range issues {
+		if i.Check == check && (msgPart == "" || strings.Contains(i.Msg, msgPart)) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNames(issues []ProgramIssue) []string {
+	var names []string
+	for _, i := range issues {
+		names = append(names, i.Check)
+	}
+	return names
+}
+
+func TestVerifyCleanLoop(t *testing.T) {
+	b := isa.NewBuilder("clean")
+	b.Ldi(isa.R1, 100)
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, -1)
+	b.Bne(isa.R1, "top")
+	b.Halt()
+	p := b.MustFinish()
+	if issues := VerifyProgram(p); len(issues) != 0 {
+		t.Fatalf("clean program flagged: %v", issues)
+	}
+}
+
+func TestVerifyUnreachableBlock(t *testing.T) {
+	// BR skips one instruction that nothing else targets.
+	p := &isa.Program{Name: "orphan", Code: []isa.Instr{
+		{Op: isa.LDI, Rd: isa.R1, Imm: 5},
+		{Op: isa.BR, Imm: 1},
+		{Op: isa.ADDI, Rd: isa.R1, Ra: isa.R1, Imm: 1}, // orphaned
+		{Op: isa.HALT},
+	}}
+	issues := VerifyProgram(p)
+	if !hasIssue(issues, "unreachable", "pc 2..2") {
+		t.Fatalf("want unreachable pc 2, got %v", issues)
+	}
+}
+
+func TestVerifyUseBeforeDef(t *testing.T) {
+	// R9 is read but written nowhere on any path.
+	p := &isa.Program{Name: "undef", Code: []isa.Instr{
+		{Op: isa.LDI, Rd: isa.R1, Imm: 5},
+		{Op: isa.ADD, Rd: isa.R2, Ra: isa.R1, Rb: isa.R9},
+		{Op: isa.HALT},
+	}}
+	issues := VerifyProgram(p)
+	if !hasIssue(issues, "use-before-def", "r9") {
+		t.Fatalf("want use-before-def of r9, got %v", issues)
+	}
+}
+
+func TestVerifyLazyAccumulatorPasses(t *testing.T) {
+	// The kernels' idiom: R2 is read before its first write on the first
+	// iteration (architectural zero), but a loop path does write it — a
+	// reaching definition exists, so this must NOT be flagged.
+	b := isa.NewBuilder("lazy")
+	b.Label("top")
+	b.Addi(isa.R1, isa.R2, 1) // reads R2: zero on iteration one
+	b.Addi(isa.R2, isa.R1, 1) // defines R2 for later iterations
+	b.Br("top")
+	p := b.MustFinish()
+	if issues := VerifyProgram(p); len(issues) != 0 {
+		t.Fatalf("lazy accumulator flagged: %v", issues)
+	}
+}
+
+func TestVerifyBranchOutOfBounds(t *testing.T) {
+	p := &isa.Program{Name: "oob", Code: []isa.Instr{
+		{Op: isa.BR, Imm: 100},
+	}}
+	issues := VerifyProgram(p)
+	if !hasIssue(issues, "branch-bounds", "outside code") {
+		t.Fatalf("want branch-bounds, got %v", issues)
+	}
+}
+
+func TestVerifyZeroWrite(t *testing.T) {
+	p := &isa.Program{Name: "zw", Code: []isa.Instr{
+		{Op: isa.LDI, Rd: isa.R1, Imm: 1},
+		{Op: isa.ADD, Rd: isa.R31, Ra: isa.R1, Rb: isa.R1},
+		{Op: isa.HALT},
+	}}
+	issues := VerifyProgram(p)
+	if !hasIssue(issues, "zero-write", "r31") {
+		t.Fatalf("want zero-write, got %v", issues)
+	}
+	// The return idiom — JMP discarding the link through R31 — is exempt.
+	b := isa.NewBuilder("ret")
+	b.Jsr(isa.R26, "fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret(isa.R26)
+	if issues := VerifyProgram(b.MustFinish()); hasIssue(issues, "zero-write", "") {
+		t.Fatalf("JMP link discard flagged: %v", issues)
+	}
+}
+
+func TestVerifyFallthrough(t *testing.T) {
+	p := &isa.Program{Name: "fall", Code: []isa.Instr{
+		{Op: isa.LDI, Rd: isa.R1, Imm: 1},
+		{Op: isa.ADDI, Rd: isa.R1, Ra: isa.R1, Imm: 1}, // falls off the end
+	}}
+	issues := VerifyProgram(p)
+	if !hasIssue(issues, "fallthrough", "falls off the end") {
+		t.Fatalf("want fallthrough, got %v", issues)
+	}
+}
+
+func TestVerifyOrphanedHalt(t *testing.T) {
+	// An infinite loop whose only HALT nothing reaches.
+	b := isa.NewBuilder("orphanhalt")
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Br("top")
+	b.Halt() // orphaned exit
+	p := b.MustFinish()
+	issues := VerifyProgram(p)
+	if !hasIssue(issues, "halt", "no reachable") {
+		t.Fatalf("want orphaned-halt issue, got %v", issues)
+	}
+	if !hasIssue(issues, "unreachable", "") {
+		t.Fatalf("want unreachable issue too, got %v", issues)
+	}
+}
+
+func TestVerifyMemBounds(t *testing.T) {
+	// Negative effective address from the zero register.
+	p := &isa.Program{Name: "neg", Code: []isa.Instr{
+		{Op: isa.LDQ, Rd: isa.R1, Ra: isa.R31, Imm: -8},
+		{Op: isa.HALT},
+	}}
+	if issues := VerifyProgram(p); !hasIssue(issues, "mem-bounds", "wraps negative") {
+		t.Fatalf("want negative-address issue, got %v", issues)
+	}
+
+	// A typo'd immediate sends a store beyond the 4 GiB data space.
+	b := isa.NewBuilder("wild")
+	b.Ldi(isa.R1, 1)
+	b.Slli(isa.R1, isa.R1, 40)
+	b.Stq(isa.R1, isa.R1, 0)
+	b.Halt()
+	if issues := VerifyProgram(b.MustFinish()); !hasIssue(issues, "mem-bounds", "4 GiB") {
+		t.Fatalf("want 4GiB sanity issue, got %v", issues)
+	}
+
+	// With every store address statically known, a load outside the data
+	// segment is flagged...
+	b = isa.NewBuilder("seg")
+	b.Ldi(isa.R1, 0x1000)
+	b.Stq(isa.R1, isa.R1, 0) // segment extends to 0x1008 -> limit 0x2000
+	b.Ldi(isa.R2, 0x100000)
+	b.Ldq(isa.R3, isa.R2, 0) // far outside
+	b.Halt()
+	if issues := VerifyProgram(b.MustFinish()); !hasIssue(issues, "mem-bounds", "outside the program's data segment") {
+		t.Fatalf("want data-segment issue, got %v", issues)
+	}
+
+	// ...but computed store addresses make the segment statically
+	// invisible, so the soft check stands down (the kernels' case).
+	b = isa.NewBuilder("dyn")
+	b.Ldi(isa.R1, 0x1000)
+	b.Ldq(isa.R4, isa.R1, 0) // load inside
+	b.Add(isa.R2, isa.R1, isa.R4)
+	b.Stq(isa.R1, isa.R2, 0) // computed store address
+	b.Ldi(isa.R5, 0x100000)
+	b.Ldq(isa.R6, isa.R5, 0) // would be outside a visible segment
+	b.Halt()
+	if issues := VerifyProgram(b.MustFinish()); hasIssue(issues, "mem-bounds", "") {
+		t.Fatalf("soft segment check fired despite unknown stores: %v", issues)
+	}
+}
+
+func TestVerifyJumpTableReachability(t *testing.T) {
+	// Blocks reached only through a jump table in the data image must not
+	// be reported unreachable.
+	b := isa.NewBuilder("jt")
+	const jt = 0x2000
+	b.Ldi(isa.R1, jt)
+	b.Ldq(isa.R2, isa.R1, 0)
+	b.Jmp(isa.R31, isa.R2)
+	b.Label("arm0")
+	b.Halt()
+	b.InitDataLabelTable(jt, "arm0")
+	p := b.MustFinish()
+	if issues := VerifyProgram(p); hasIssue(issues, "unreachable", "") {
+		t.Fatalf("jump-table arm reported unreachable: %v", issues)
+	}
+}
+
+func TestVerifyEmptyAndEntry(t *testing.T) {
+	if issues := VerifyProgram(&isa.Program{Name: "empty"}); !hasIssue(issues, "entry", "empty") {
+		t.Fatalf("want empty-program issue, got %v", issues)
+	}
+	p := &isa.Program{Name: "entry", Entry: 9, Code: []isa.Instr{{Op: isa.HALT}}}
+	if issues := VerifyProgram(p); !hasIssue(issues, "entry", "entry 9") {
+		t.Fatalf("want entry issue, got %v", issues)
+	}
+}
+
+func TestVerifyEncodeIssue(t *testing.T) {
+	p := &isa.Program{Name: "enc", Code: []isa.Instr{
+		{Op: isa.Op(250)},
+	}}
+	issues := VerifyProgram(p)
+	if !hasIssue(issues, "encode", "") {
+		t.Fatalf("want encode issue, got %v", checkNames(issues))
+	}
+}

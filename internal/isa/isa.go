@@ -192,6 +192,7 @@ const (
 // NumOps is the number of defined opcodes.
 const NumOps = int(numOps)
 
+//rmtlint:allow sharedstate — read-only mnemonic table, written by no one
 var opNames = [...]string{
 	NOP: "nop",
 
@@ -292,6 +293,7 @@ const (
 	ClassHalt
 )
 
+//rmtlint:allow sharedstate — read-only opcode-class table, written by no one
 var opClasses = [...]Class{
 	NOP: ClassNop,
 

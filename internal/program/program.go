@@ -31,6 +31,7 @@ type Info struct {
 	Build       func() *isa.Program
 }
 
+//rmtlint:allow sharedstate — kernel registry, written only by init-time register()
 var registry = map[string]Info{}
 
 func register(name, suite, desc string, build func() *isa.Program) {

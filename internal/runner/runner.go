@@ -107,7 +107,7 @@ func Run[T any](jobs []func() (T, error), opts Options) ([]T, Report, error) {
 		}
 	}
 
-	start := time.Now()
+	start := time.Now() //rmtlint:allow determinism — wall-clock feeds only the stderr timing Report, never canonical output
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -118,7 +118,7 @@ func Run[T any](jobs []func() (T, error), opts Options) ([]T, Report, error) {
 				if !ok {
 					return
 				}
-				t0 := time.Now()
+				t0 := time.Now() //rmtlint:allow determinism — per-job Busy time for the stderr timing Report only
 				v, err := jobs[i]()
 				durs[i] = time.Since(t0)
 				if err != nil {

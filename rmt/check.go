@@ -1,0 +1,46 @@
+package rmt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// ProgramIssue is one finding from the static ISA program verifier.
+type ProgramIssue = analysis.ProgramIssue
+
+// CheckProgram statically verifies a program in the simulator's ISA: CFG
+// well-formedness (branch targets in bounds, no path off the end of the
+// code image), reachability, register def-before-use, writes to the
+// hardwired-zero registers, statically-derivable memory bounds and halt
+// structure. A nil error means the program is well-formed; otherwise the
+// error lists every issue, and Issues returns them structured.
+func CheckProgram(p *isa.Program) error {
+	return issuesToError(p.Name, analysis.VerifyProgram(p))
+}
+
+// CheckKernel verifies one registered workload kernel by name, returning
+// the structured issue list (empty for a clean kernel). Unknown names are
+// an error.
+func CheckKernel(name string) ([]ProgramIssue, error) {
+	p, err := program.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.VerifyProgram(p), nil
+}
+
+func issuesToError(name string, issues []ProgramIssue) error {
+	if len(issues) == 0 {
+		return nil
+	}
+	lines := make([]string, len(issues))
+	for i, issue := range issues {
+		lines[i] = "  " + issue.String()
+	}
+	return fmt.Errorf("rmt: program %q fails static verification:\n%s",
+		name, strings.Join(lines, "\n"))
+}
