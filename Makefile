@@ -25,4 +25,21 @@ determinism:
 	go run ./cmd/rmtbench -quick -parallel 4 2>/dev/null > /tmp/rmtbench.p4.out
 	cmp /tmp/rmtbench.p1.out /tmp/rmtbench.p4.out && echo "byte-identical"
 
-.PHONY: verify race lint smoke determinism
+# Coverage gate: total statement coverage must not fall below the floor
+# recorded when the observability layer landed (80.1% at the time; the
+# floor leaves a small margin for flaky per-run variation).
+COVER_FLOOR := 78.0
+cover:
+	go test -count=1 -coverprofile=/tmp/rmt.cover.out ./...
+	@total=$$(go tool cover -func=/tmp/rmt.cover.out | tail -1 | awk '{gsub(/%/,"",$$NF); print $$NF}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) }' || \
+	{ echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Fuzz battery: bounded runs of every fuzz target. A crasher is persisted
+# under the package's testdata/fuzz/ for replay as a regular test case.
+FUZZTIME := 10s
+fuzz:
+	go test ./internal/isa/ -run '^$$' -fuzz FuzzLoadImage -fuzztime $(FUZZTIME)
+
+.PHONY: verify race lint smoke determinism cover fuzz

@@ -39,7 +39,17 @@ func main() {
 		target = flag.String("target", "leading", "copy to strike for -one: leading or trailing")
 	)
 	sf := cliflags.RegisterSim(flag.CommandLine)
+	pf := cliflags.RegisterProf(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	mode, err := cliflags.ParseMode(*modeFlag)
 	if err != nil {

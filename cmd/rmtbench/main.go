@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,13 +26,54 @@ import (
 	"repro/rmt"
 )
 
+// experimentJSON renders one experiment's results as a machine-readable
+// artifact: the table plus the summary scalars. encoding/json sorts map
+// keys, so the bytes are deterministic (and parallelism-independent, since
+// tables are assembled in declaration order).
+func experimentJSON(id string, budget, warmup uint64, tbl *rmt.Table, summary map[string]float64) []byte {
+	doc := struct {
+		ID      string             `json:"id"`
+		Budget  uint64             `json:"budget"`
+		Warmup  uint64             `json:"warmup"`
+		Title   string             `json:"title"`
+		Columns []string           `json:"columns"`
+		Rows    [][]string         `json:"rows"`
+		Summary map[string]float64 `json:"summary"`
+	}{id, budget, warmup, tbl.Title(), tbl.Columns(), tbl.Rows(), summary}
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		panic(err) // strings and floats only: cannot fail
+	}
+	return append(out, '\n')
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (table1,fig6,...,fig12,coverage)")
-		csvDir  = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (table1,fig6,...,fig12,coverage)")
+		csvDir     = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
+		metricsDir = flag.String("metrics-dir", "", "also write each experiment's table and summary as <dir>/<id>.json")
 	)
 	sf := cliflags.RegisterSim(flag.CommandLine)
+	pf := cliflags.RegisterProf(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmtbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "rmtbench: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rmtbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	base := []rmt.Option{rmt.WithParallelism(sf.Parallelism())}
 	if sf.Quick {
@@ -115,6 +157,13 @@ func main() {
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, e.ID+".csv")
 			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rmtbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsDir != "" {
+			path := filepath.Join(*metricsDir, e.ID+".json")
+			if err := os.WriteFile(path, experimentJSON(e.ID, budget, warmup, tbl, summary), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "rmtbench: %v\n", err)
 				os.Exit(1)
 			}

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cliflags"
@@ -38,9 +39,21 @@ func main() {
 		list      = flag.Bool("list", false, "list the workload suite and exit")
 		noRel     = flag.Bool("norel", false, "skip the base-machine reference runs")
 		traceN    = flag.Int("trace", 0, "dump a pipeline trace of the first N retired instructions")
+		metricsF  = flag.String("metrics", "", "write the end-of-run metrics snapshot (JSON) to this file")
+		traceF    = flag.String("trace-json", "", "write the structured event trace (Chrome trace_event JSON, Perfetto-loadable) to this file")
 	)
 	sf := cliflags.RegisterSim(flag.CommandLine)
+	pf := cliflags.RegisterProf(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *list {
 		for _, n := range program.Names() {
@@ -73,14 +86,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *metricsF != "" {
+		m.EnableMetrics()
+	}
+	var events *trace.EventLog
+	if *traceF != "" {
+		events = m.EnableTrace(0)
+	}
 	var collector *trace.Collector
 	if *traceN > 0 {
 		collector = trace.NewCollector(*traceN)
-		m.Cores[0].Trace = collector.Hook()
+		hook := collector.Hook()
+		if prev := m.Cores[0].Trace; prev != nil {
+			m.Cores[0].Trace = func(ev pipeline.TraceEvent) { prev(ev); hook(ev) }
+		} else {
+			m.Cores[0].Trace = hook
+		}
 	}
 	rs, err := m.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if events != nil {
+		if err := writeTo(*traceF, events.WriteChromeJSON); err != nil {
+			fatal(err)
+		}
+	}
+	if m.Metrics != nil {
+		if err := writeTo(*metricsF, m.Metrics.Snapshot(rs.Cycles).WriteJSON); err != nil {
+			fatal(err)
+		}
 	}
 	if collector != nil {
 		fmt.Println("pipeline trace (F fetch, D dispatch, I issue, C complete, X retire):")
@@ -152,4 +187,17 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

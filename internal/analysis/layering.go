@@ -9,13 +9,14 @@ import (
 
 // Layering enforces the import DAG DESIGN.md draws for the simulator:
 //
-//	layer 0  isa, stats, runner            (leaves: no repro imports)
+//	layer 0  isa, stats, runner, metrics   (leaves: no repro imports)
 //	layer 1  vm, program, predict, mem, rmt (branch/LVQ/SQ queues), analysis
 //	layer 2  pipeline
-//	layer 3  lockstep, sim, trace
-//	layer 4  fault, cliflags
-//	layer 5  exp
-//	layer 6  rmt facade (and the repro doc package)
+//	layer 3  lockstep, trace
+//	layer 4  sim (assembles machines and wires trace/metrics observability)
+//	layer 5  fault, cliflags
+//	layer 6  exp
+//	layer 7  rmt facade (and the repro doc package)
 //
 // A package may import only packages on a strictly lower layer, so cycles
 // and layer-skipping back-edges are impossible by construction. cmd/ and
@@ -36,10 +37,11 @@ const ModPath = "repro"
 // the map are flagged: growing the tree means placing new packages in the
 // DAG deliberately.
 var layerOf = map[string]int{
-	ModPath:                        6,
+	ModPath:                        7,
 	ModPath + "/internal/isa":      0,
 	ModPath + "/internal/stats":    0,
 	ModPath + "/internal/runner":   0,
+	ModPath + "/internal/metrics":  0,
 	ModPath + "/internal/vm":       1,
 	ModPath + "/internal/program":  1,
 	ModPath + "/internal/predict":  1,
@@ -48,12 +50,12 @@ var layerOf = map[string]int{
 	ModPath + "/internal/analysis": 1,
 	ModPath + "/internal/pipeline": 2,
 	ModPath + "/internal/lockstep": 3,
-	ModPath + "/internal/sim":      3,
 	ModPath + "/internal/trace":    3,
-	ModPath + "/internal/fault":    4,
-	ModPath + "/internal/cliflags": 4,
-	ModPath + "/internal/exp":      5,
-	ModPath + "/rmt":               6,
+	ModPath + "/internal/sim":      4,
+	ModPath + "/internal/fault":    5,
+	ModPath + "/internal/cliflags": 5,
+	ModPath + "/internal/exp":      6,
+	ModPath + "/rmt":               7,
 }
 
 // binaryAllowed is the import set open to cmd/ and examples/ packages.

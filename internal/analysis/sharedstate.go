@@ -36,6 +36,7 @@ var simPackages = map[string]bool{
 	ModPath + "/internal/fault":    true,
 	ModPath + "/internal/exp":      true,
 	ModPath + "/internal/stats":    true,
+	ModPath + "/internal/metrics":  true,
 	ModPath + "/rmt":               true,
 }
 

@@ -6,7 +6,9 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/sim"
@@ -58,6 +60,59 @@ func (s *Sim) Parallelism() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return s.Parallel
+}
+
+// Prof is the shared profiling flag group. The profiles observe the tool,
+// not the simulation: enabling them never changes simulated results.
+type Prof struct {
+	// CPUProfile and MemProfile name output files ("" = disabled).
+	CPUProfile string
+	MemProfile string
+}
+
+// RegisterProf installs the shared -cpuprofile/-memprofile group on fs.
+func RegisterProf(fs *flag.FlagSet) *Prof {
+	p := &Prof{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling when requested and returns the function that
+// finishes both profiles; call it on every exit path (defer after a
+// successful Start).
+func (p *Prof) Start() (stop func() error, err error) {
+	var cpuF *os.File
+	if p.CPUProfile != "" {
+		cpuF, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if p.MemProfile != "" {
+			f, err := os.Create(p.MemProfile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // ParseMode maps a -mode flag value to the machine organisation it names.

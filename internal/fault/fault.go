@@ -73,6 +73,16 @@ func (t Transient) Arm(m *sim.Machine) (fired func() bool, err error) {
 		return nil, fmt.Errorf("fault: machine has no %v copy for logical thread %d (mode %v)",
 			t.Target, t.Logical, m.Spec.Mode)
 	}
+	// Locate the victim context for the event log (pid=core, tid=thread).
+	core, tid := 0, ctx.TID
+	if t.Logical < len(m.Pairs) {
+		p := m.Pairs[t.Logical]
+		if t.Target == TrailingCopy {
+			core = p.TrailCore
+		} else {
+			core = p.LeadCore
+		}
+	}
 	didFire := false
 	prev := ctx.Arch.Corrupt
 	ctx.Arch.Corrupt = func(point vm.CorruptPoint, seq, pc, v uint64) uint64 {
@@ -81,6 +91,10 @@ func (t Transient) Arm(m *sim.Machine) (fired func() bool, err error) {
 		}
 		if !didFire && seq >= t.AtSeq && point == t.Point {
 			didFire = true
+			if m.Events != nil {
+				m.Events.Inject(core, tid, m.Cores[core].Cycle(), seq, pc,
+					fmt.Sprintf("%v copy, point %d, bit %d", t.Target, int(t.Point), t.Bit))
+			}
 			return v ^ (1 << (t.Bit & 63))
 		}
 		return v

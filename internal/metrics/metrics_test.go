@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	build := func(order []int) *Snapshot {
+		r := New()
+		regs := []func(){
+			func() { r.Counter("zz.last", nil, func() uint64 { return 7 }) },
+			func() { r.Counter("aa.first", Labels{"core": "1"}, func() uint64 { return 1 }) },
+			func() { r.Counter("aa.first", Labels{"core": "0"}, func() uint64 { return 2 }) },
+			func() { r.Gauge("mm.mid", Labels{"tid": "3", "core": "0"}, func() float64 { return 0.5 }) },
+		}
+		for _, i := range order {
+			regs[i]()
+		}
+		return r.Snapshot(42)
+	}
+	a := build([]int{0, 1, 2, 3})
+	b := build([]int{3, 2, 1, 0})
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("snapshot bytes depend on registration order:\n%s\n%s", aj, bj)
+	}
+	want := []string{"aa.first{core=0}", "aa.first{core=1}", "mm.mid{core=0,tid=3}", "zz.last{}"}
+	for i, v := range a.Metrics {
+		if v.key() != want[i] {
+			t.Errorf("metric %d = %s, want %s", i, v.key(), want[i])
+		}
+	}
+}
+
+func TestSnapshotReadsLiveValues(t *testing.T) {
+	r := New()
+	var n uint64
+	r.Counter("events", nil, func() uint64 { return n })
+	n = 5
+	if got, ok := r.Snapshot(0).CounterValue("events", nil); !ok || got != 5 {
+		t.Errorf("counter = %d, %v; want 5, true", got, ok)
+	}
+	n = 9
+	if got, _ := r.Snapshot(1).CounterValue("events", nil); got != 9 {
+		t.Errorf("counter after increment = %d, want 9", got)
+	}
+}
+
+func TestHistogramExport(t *testing.T) {
+	r := New()
+	r.Histogram("occ", Labels{"q": "sq"}, func() HistogramValue {
+		return HistogramValue{Buckets: []uint64{1, 0, 2}, Total: 3, Sum: 4}
+	})
+	s := r.Snapshot(10)
+	v, ok := s.Get("occ", Labels{"q": "sq"})
+	if !ok || v.Histogram == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if v.Histogram.Mean() != 4.0/3.0 {
+		t.Errorf("mean = %v", v.Histogram.Mean())
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if back.Cycle != 10 || len(back.Metrics) != 1 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("export must end with a newline")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r := New()
+	r.Counter("x", Labels{"a": "1"}, func() uint64 { return 0 })
+	r.Counter("x", Labels{"a": "1"}, func() uint64 { return 0 })
+}
+
+func TestLabelsClonedAtRegistration(t *testing.T) {
+	r := New()
+	l := Labels{"core": "0"}
+	r.Counter("c", l, func() uint64 { return 1 })
+	l["core"] = "9" // mutate after registration
+	if _, ok := r.Snapshot(0).Get("c", Labels{"core": "0"}); !ok {
+		t.Error("registry did not clone labels; caller mutation leaked in")
+	}
+}

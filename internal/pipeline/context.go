@@ -126,6 +126,16 @@ func (c *Context) robHead() *dynInst {
 // (§4.1).
 func (c *Context) usesLoadQueue() bool { return c.Role != RoleTrailing }
 
+// Occupancy reports the context's live queue occupancies (window, rate
+// matching buffer, instruction queue slots, store queue, load queue) for
+// the observability layer's gauges and per-cycle histograms.
+func (c *Context) Occupancy() (rob, rmb, iq, sq, lq int) {
+	return len(c.rob), len(c.rmb), c.iqOccupancy, c.sqUsed, c.lqUsed
+}
+
+// QueueCaps reports the context's static store/load queue shares.
+func (c *Context) QueueCaps() (sq, lq int) { return c.sqCap, c.lqCap }
+
 // drainedAndIdle reports whether the context has no in-flight work at all.
 func (c *Context) drainedAndIdle() bool {
 	return len(c.rob) == 0 && len(c.rmb) == 0 &&

@@ -50,6 +50,11 @@ type Core struct {
 	// Trace, when non-nil, receives a TraceEvent at each pipeline stage an
 	// instruction passes (internal/trace renders them).
 	Trace func(ev TraceEvent)
+
+	// Probe, when non-nil, runs at the end of every Step — the hook the
+	// observability layer uses to sample occupancy histograms. It must not
+	// mutate machine state.
+	Probe func()
 }
 
 // TraceStage identifies a pipeline event for tracing.
@@ -62,6 +67,14 @@ const (
 	StageIssue
 	StageDone
 	StageRetire
+	// StageSquash marks a mispredicted branch resolving: fetch was stalled
+	// on the wrong-path bubble and restarts down the correct path.
+	StageSquash
+	// StageCompare marks a sphere-of-replication output comparison: a store
+	// verified against its trailing copy, a trailing load's address checked
+	// at the LVQ, or a control-flow divergence caught at trailing fetch.
+	// Mismatch reports whether the comparison detected a fault.
+	StageCompare
 )
 
 // TraceEvent is one instruction passing one pipeline stage.
@@ -72,6 +85,8 @@ type TraceEvent struct {
 	PC    uint64
 	Text  string
 	Stage TraceStage
+	// Mismatch is set on StageCompare events that detected a divergence.
+	Mismatch bool
 }
 
 // emit sends a trace event if tracing is enabled. Done events are emitted
@@ -87,6 +102,23 @@ func (co *Core) emit(ctx *Context, d *dynInst, stage TraceStage, cycle uint64) {
 		PC:    d.out.PC,
 		Text:  d.out.Instr.String(),
 		Stage: stage,
+	})
+}
+
+// emitCompare sends a StageCompare trace event carrying the comparison
+// outcome.
+func (co *Core) emitCompare(ctx *Context, d *dynInst, cycle uint64, mismatch bool) {
+	if co.Trace == nil {
+		return
+	}
+	co.Trace(TraceEvent{
+		Cycle:    cycle,
+		TID:      ctx.TID,
+		Seq:      d.out.Seq,
+		PC:       d.out.PC,
+		Text:     d.out.Instr.String(),
+		Stage:    StageCompare,
+		Mismatch: mismatch,
 	})
 }
 
@@ -228,8 +260,19 @@ func (co *Core) Step() {
 	co.issueStage()
 	co.dispatchStage()
 	co.fetchStage()
+	if co.Probe != nil {
+		co.Probe()
+	}
 	co.cycle++
 }
+
+// IQUsed returns the occupancy of one instruction-queue half (0 = lower,
+// 1 = upper).
+func (co *Core) IQUsed(half int) int { return co.iqUsed[half&1] }
+
+// InFlightCount returns the renamed, unretired instruction count — shared
+// completion-unit / physical-register pressure.
+func (co *Core) InFlightCount() int { return co.inFlight }
 
 // String summarises occupancy for debugging.
 func (co *Core) String() string {

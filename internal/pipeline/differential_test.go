@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/isa"
+	"repro/internal/rmt"
 	"repro/internal/vm"
 )
 
@@ -251,3 +252,76 @@ func TestDifferentialSRT(t *testing.T) {
 
 // ctxMemory digs out the shared committed memory under a context's overlay.
 func ctxMemory(ctx *Context) *vm.Memory { return ctx.Arch.Mem.Backing() }
+
+// crtMachine hand-wires one redundant pair across the two cores of a CMP:
+// leading copy on core 0, trailing copy on core 1, shared L2, cross-core
+// forwarding latencies.
+func crtMachine(t *testing.T, prog *isa.Program, budget uint64, cfg Config) (*Machine, *Context, *Context, *rmt.Pair) {
+	t.Helper()
+	core0 := NewCore(0, cfg, nil)
+	core1 := NewCore(1, cfg, core0.Hierarchy().L2)
+	memImg := vm.NewMemory()
+	vm.Load(prog, memImg)
+	lead := NewContext(RoleLeading, 0, vm.NewThread(0, prog, memImg), budget)
+	trail := NewContext(RoleTrailing, 0, vm.NewThread(1, prog, memImg), 0)
+	lead.PeerArch = trail.Arch
+	trail.PeerArch = lead.Arch
+	pair := rmt.NewPair(0, rmt.CRTLatencies(), cfg.LVQSize, cfg.LPQSize)
+	pair.PreferentialSpaceRedundancy = true
+	lead.Pair = pair
+	trail.Pair = pair
+	core0.AddContext(lead)
+	core1.AddContext(trail)
+	pair.LeadCore, pair.LeadTID = 0, lead.TID
+	pair.TrailCore, pair.TrailTID = 1, trail.TID
+	core0.FinalizeQueues()
+	core1.FinalizeQueues()
+	m := &Machine{Cores: []*Core{core0, core1}, Pairs: []*rmt.Pair{pair}}
+	return m, lead, trail, pair
+}
+
+// TestDifferentialCRT is the cross-core metamorphic check: a fault-free CRT
+// pair must finish with exactly the architectural state of a pure
+// functional run — registers and committed memory bit-identical on both
+// copies — with every store compared and zero mismatches, despite the
+// cross-processor forwarding latencies reordering everything in time.
+func TestDifferentialCRT(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			g := &progGen{state: seed * 0x94D049BB133111EB}
+			prog := g.gen(30)
+			want := functionalRun(t, prog)
+
+			cfg := DefaultConfig()
+			m, lead, trail, pair := crtMachine(t, prog, 10_000_000, cfg)
+			if _, err := m.Run(3_000_000); err != nil {
+				t.Fatal(err)
+			}
+			// Let the trailing copy on core 1 drain its final stores.
+			for i := 0; i < 50000 && !(trail.Arch.Halted && trail.drainedAndIdle()); i++ {
+				m.Cores[0].Step()
+				m.Cores[1].Step()
+			}
+			if !trail.Arch.Halted {
+				t.Fatal("trailing copy never reached HALT")
+			}
+			compareSnapshots(t, "crt/lead", want, snap(lead.Arch, ctxMemory(lead)))
+			got := snap(trail.Arch, ctxMemory(trail))
+			for r := 0; r < 32; r++ {
+				if want.intReg[r] != got.intReg[r] {
+					t.Errorf("crt/trail: R%d = %#x, want %#x", r, got.intReg[r], want.intReg[r])
+				}
+			}
+			if pair.Cmp.Mismatches.Value() != 0 {
+				t.Errorf("%d mismatches in fault-free CRT run", pair.Cmp.Mismatches.Value())
+			}
+			if pair.Cmp.Comparisons.Value() == 0 {
+				t.Error("no store comparisons happened — sphere boundary not exercised")
+			}
+			if len(pair.Detected) != 0 {
+				t.Errorf("spurious detections: %d", len(pair.Detected))
+			}
+		})
+	}
+}

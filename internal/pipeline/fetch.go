@@ -294,6 +294,17 @@ func (co *Core) fetchTrailing(ctx *Context) {
 				LeadAddr:  c.StartPC,
 				TrailAddr: ctx.Arch.PC,
 			})
+			if co.Trace != nil {
+				co.Trace(TraceEvent{
+					Cycle:    co.cycle,
+					TID:      ctx.TID,
+					Seq:      ctx.Arch.Seq,
+					PC:       ctx.Arch.PC,
+					Text:     "control-flow divergence",
+					Stage:    StageCompare,
+					Mismatch: true,
+				})
+			}
 		}
 		for slot := 0; slot < c.Count; slot++ {
 			out := ctx.Arch.Step()

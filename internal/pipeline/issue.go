@@ -163,6 +163,7 @@ func (co *Core) execute(ctx *Context, d *dynInst) {
 			if ctx.fetchBlockedUntil == neverUnblock && ctx.pendingBranch == d {
 				ctx.fetchBlockedUntil = d.doneCycle + 1
 				ctx.pendingBranch = nil
+				co.emit(ctx, d, StageSquash, d.doneCycle)
 			}
 		}
 	default:
@@ -196,6 +197,7 @@ func (co *Core) executeLoad(ctx *Context, d *dynInst, base uint64) uint64 {
 				Tag:      d.loadTag,
 				LeadAddr: e.Addr, TrailAddr: d.out.Addr,
 			})
+			co.emitCompare(ctx, d, co.cycle, true)
 		}
 		// The LVQ lookup is a store-queue-like CAM probe (§4.1).
 		return base + 1 + MBOXLatency

@@ -259,6 +259,7 @@ func (co *Core) drainLeading(ctx *Context) {
 				return // trailing copy not yet arrived
 			}
 			d.verified = true
+			co.emitCompare(ctx, d, co.cycle, mismatch != nil)
 			if mismatch != nil {
 				pair.Detected = append(pair.Detected, mismatch)
 				d.verifiedAt = co.cycle

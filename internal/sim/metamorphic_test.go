@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/program"
+	"repro/internal/vm"
+)
+
+// The metamorphic invariant behind every mode the simulator offers: the
+// machine organisation (base SMT, SRT pair, cross-core CRT pair) is pure
+// timing — the architectural function each logical program computes is
+// exactly the one a bare functional thread computes. Each copy's registers
+// and memory view after a fault-free run must be bit-identical to a fresh
+// functional replay to the same dynamic instruction count, and no
+// sphere-of-replication comparator may fire.
+
+// refReplay replays kernel name functionally for exactly seq instructions,
+// recording the 8-byte-aligned addresses its stores covered.
+type refReplay struct {
+	th     *vm.Thread
+	stores []uint64
+}
+
+func replayKernel(t *testing.T, name string, seq uint64) *refReplay {
+	t.Helper()
+	prog := program.MustBuild(name)
+	memImg := vm.NewMemory()
+	vm.Load(prog, memImg)
+	r := &refReplay{th: vm.NewThread(0, prog, memImg)}
+	seen := map[uint64]bool{}
+	for r.th.Seq < seq && !r.th.Halted {
+		out := r.th.Step()
+		if out.Instr.IsStore() && !out.Instr.IsUncached() {
+			for a := out.Addr &^ 7; a < out.Addr+uint64(out.Size); a += 8 {
+				if !seen[a] {
+					seen[a] = true
+					r.stores = append(r.stores, a)
+				}
+			}
+		}
+	}
+	if r.th.Seq != seq {
+		t.Fatalf("%s: reference replay stopped at seq %d, want %d", name, r.th.Seq, seq)
+	}
+	return r
+}
+
+// checkCopyAgainstReference verifies one hardware copy's final
+// architectural state against the functional replay.
+func checkCopyAgainstReference(t *testing.T, tag, name string, ctx *pipeline.Context) {
+	t.Helper()
+	ref := replayKernel(t, name, ctx.Arch.Seq)
+	for r := 0; r < 32; r++ {
+		if ctx.Arch.IntReg[r] != ref.th.IntReg[r] {
+			t.Errorf("%s: R%d = %#x, want %#x", tag, r, ctx.Arch.IntReg[r], ref.th.IntReg[r])
+		}
+		if ctx.Arch.FPReg[r] != ref.th.FPReg[r] {
+			t.Errorf("%s: F%d = %#x, want %#x", tag, r, ctx.Arch.FPReg[r], ref.th.FPReg[r])
+		}
+	}
+	diffs := 0
+	for _, a := range ref.stores {
+		if got, want := ctx.Arch.Mem.Read64(a), ref.th.Mem.Read64(a); got != want {
+			if diffs++; diffs <= 3 {
+				t.Errorf("%s: mem[%#x] = %#x, want %#x", tag, a, got, want)
+			}
+		}
+	}
+	if diffs > 3 {
+		t.Errorf("%s: ... and %d more memory differences", tag, diffs-3)
+	}
+}
+
+func runMode(t *testing.T, mode Mode, progs []string) *Machine {
+	t.Helper()
+	m, err := Build(Spec{
+		Mode:     mode,
+		Programs: progs,
+		Budget:   1500,
+		Warmup:   500,
+		Config:   pipeline.DefaultConfig(),
+		PSR:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checkPairsClean asserts no comparator fired during a fault-free run.
+func checkPairsClean(t *testing.T, tag string, m *Machine) {
+	t.Helper()
+	for i, p := range m.Pairs {
+		if n := p.Cmp.Mismatches.Value(); n != 0 {
+			t.Errorf("%s pair %d: %d store mismatches in a fault-free run", tag, i, n)
+		}
+		if n := p.LVQ.AddrMismatches.Value(); n != 0 {
+			t.Errorf("%s pair %d: %d LVQ address mismatches", tag, i, n)
+		}
+		if n := len(p.Detected); n != 0 {
+			t.Errorf("%s pair %d: %d spurious detections", tag, i, n)
+		}
+		if p.Cmp.Comparisons.Value() == 0 {
+			t.Errorf("%s pair %d: no store comparisons — output boundary not exercised", tag, i)
+		}
+	}
+}
+
+func TestMetamorphicBaseMatchesFunctional(t *testing.T) {
+	for _, name := range program.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := runMode(t, ModeBase, []string{name})
+			checkCopyAgainstReference(t, "base/"+name, name, m.Leads[0])
+		})
+	}
+}
+
+func TestMetamorphicSRTMatchesFunctional(t *testing.T) {
+	for _, name := range program.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := runMode(t, ModeSRT, []string{name})
+			checkCopyAgainstReference(t, "srt/lead/"+name, name, m.Leads[0])
+			checkCopyAgainstReference(t, "srt/trail/"+name, name, m.Trails[0])
+			checkPairsClean(t, "srt/"+name, m)
+		})
+	}
+}
+
+func TestMetamorphicCRTMatchesFunctional(t *testing.T) {
+	pairs := program.MultiprogramPairs()
+	if len(pairs) > 3 {
+		pairs = pairs[:3]
+	}
+	for _, progs := range pairs {
+		progs := progs
+		t.Run(fmt.Sprintf("%s+%s", progs[0], progs[1]), func(t *testing.T) {
+			t.Parallel()
+			m := runMode(t, ModeCRT, progs[:])
+			for i, name := range progs {
+				checkCopyAgainstReference(t, "crt/lead/"+name, name, m.Leads[i])
+				checkCopyAgainstReference(t, "crt/trail/"+name, name, m.Trails[i])
+			}
+			checkPairsClean(t, "crt", m)
+		})
+	}
+}

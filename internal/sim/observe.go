@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/rmt"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// EnableTrace attaches a structured event log capturing every core's
+// pipeline events (instruction spans, squashes, sphere-of-replication
+// comparisons). cap bounds the stored event count (0 = default). Call
+// before Run.
+func (m *Machine) EnableTrace(cap int) *trace.EventLog {
+	l := trace.NewEventLog(cap)
+	m.Events = l
+	for _, co := range m.Cores {
+		co.Trace = l.CoreHook(co.ID)
+	}
+	return l
+}
+
+// EnableMetrics builds a metrics registry over every pipeline structure of
+// the machine — per-thread frontend/cache/queue counters, per-core shared
+// resources, and the RMT structures (LVQ, LPQ, store comparator, chunk
+// aggregator) of each redundant pair — and installs a per-cycle probe
+// sampling queue-occupancy histograms. Call before Run; snapshot any time.
+func (m *Machine) EnableMetrics() *metrics.Registry {
+	r := metrics.New()
+	m.Metrics = r
+	for _, co := range m.Cores {
+		m.registerCore(r, co)
+	}
+	for _, p := range m.Pairs {
+		m.registerPair(r, p)
+	}
+	return r
+}
+
+// occProbe samples one context's queue occupancies each cycle.
+type occProbe struct {
+	ctx               *pipeline.Context
+	rob, sq, lq, rmbH *stats.Histogram
+}
+
+func (o *occProbe) sample() {
+	rob, rmb, _, sq, lq := o.ctx.Occupancy()
+	o.rob.Add(rob)
+	o.rmbH.Add(rmb)
+	o.sq.Add(sq)
+	o.lq.Add(lq)
+}
+
+func (m *Machine) registerCore(r *metrics.Registry, co *pipeline.Core) {
+	coreL := metrics.Labels{"core": strconv.Itoa(co.ID)}
+	r.Counter("core.retired", coreL, func() uint64 { return co.Retired })
+	r.Gauge("core.cycle", coreL, func() float64 { return float64(co.Cycle()) })
+	for half := 0; half < 2; half++ {
+		h := half
+		l := metrics.Labels{"core": strconv.Itoa(co.ID), "half": strconv.Itoa(h)}
+		r.Gauge("core.iq_used", l, func() float64 { return float64(co.IQUsed(h)) })
+	}
+	r.Gauge("core.inflight", coreL, func() float64 { return float64(co.InFlightCount()) })
+
+	probes := make([]*occProbe, 0, len(co.Contexts()))
+	for _, ctx := range co.Contexts() {
+		m.registerContext(r, co, ctx)
+		sqCap, lqCap := ctx.QueueCaps()
+		p := &occProbe{
+			ctx:  ctx,
+			rob:  stats.NewHistogram(m.Spec.Config.InFlightCap + 1),
+			rmbH: stats.NewHistogram(m.Spec.Config.RMBCap + 1),
+			sq:   stats.NewHistogram(sqCap + 2),
+			lq:   stats.NewHistogram(lqCap + 2),
+		}
+		probes = append(probes, p)
+		l := ctxLabels(co, ctx)
+		regOccHist(r, "ctx.rob_occupancy", l, p.rob)
+		regOccHist(r, "ctx.rmb_occupancy", l, p.rmbH)
+		regOccHist(r, "ctx.sq_occupancy", l, p.sq)
+		regOccHist(r, "ctx.lq_occupancy", l, p.lq)
+	}
+	co.Probe = func() {
+		for _, p := range probes {
+			p.sample()
+		}
+	}
+}
+
+// regOccHist registers a histogram metric backed by a stats.Histogram.
+func regOccHist(r *metrics.Registry, name string, l metrics.Labels, h *stats.Histogram) {
+	r.Histogram(name, l, func() metrics.HistogramValue {
+		return metrics.HistogramValue{Buckets: h.Buckets(), Total: h.Total(), Sum: h.Sum()}
+	})
+}
+
+func ctxLabels(co *pipeline.Core, ctx *pipeline.Context) metrics.Labels {
+	return metrics.Labels{
+		"core": strconv.Itoa(co.ID),
+		"tid":  strconv.Itoa(ctx.TID),
+		"role": ctx.Role.String(),
+		"prog": strconv.Itoa(ctx.ProgID),
+	}
+}
+
+func (m *Machine) registerContext(r *metrics.Registry, co *pipeline.Core, ctx *pipeline.Context) {
+	l := ctxLabels(co, ctx)
+	c := ctx // capture
+	counters := []struct {
+		name string
+		get  func() uint64
+	}{
+		{"ctx.committed", func() uint64 { return c.Stats.Committed.Value() }},
+		{"ctx.loads", func() uint64 { return c.Stats.Loads.Value() }},
+		{"ctx.stores", func() uint64 { return c.Stats.Stores.Value() }},
+		{"ctx.branches", func() uint64 { return c.Stats.Branches.Value() }},
+		{"ctx.branch_mispredicts", func() uint64 { return c.Stats.BranchMispredicts.Value() }},
+		{"ctx.line_mispredicts", func() uint64 { return c.Stats.LineMispredicts.Value() }},
+		{"ctx.line_fetches", func() uint64 { return c.Stats.LineFetches.Value() }},
+		{"ctx.icache_misses", func() uint64 { return c.Stats.ICacheMisses.Value() }},
+		{"ctx.dcache_misses", func() uint64 { return c.Stats.DCacheMisses.Value() }},
+		{"ctx.sq_full_stalls", func() uint64 { return c.Stats.SQFullStalls.Value() }},
+		{"ctx.iq_full_stalls", func() uint64 { return c.Stats.IQFullStalls.Value() }},
+		{"ctx.lq_full_stalls", func() uint64 { return c.Stats.LQFullStalls.Value() }},
+		{"ctx.lvq_waits", func() uint64 { return c.Stats.LVQWaits.Value() }},
+		{"ctx.interrupts", func() uint64 { return c.Interrupts }},
+	}
+	for _, cn := range counters {
+		r.Counter(cn.name, l, cn.get)
+	}
+	r.Gauge("ctx.store_lifetime_mean", l, func() float64 { return c.Stats.StoreLifetime.Value() })
+}
+
+func (m *Machine) registerPair(r *metrics.Registry, p *rmt.Pair) {
+	l := metrics.Labels{"pair": strconv.Itoa(p.LogicalID)}
+	r.Counter("lvq.pushes", l, func() uint64 { return p.LVQ.Pushes.Value() })
+	r.Counter("lvq.waits", l, func() uint64 { return p.LVQ.Waits.Value() })
+	r.Counter("lvq.full_stalls", l, func() uint64 { return p.LVQ.FullStalls.Value() })
+	r.Counter("lvq.addr_mismatches", l, func() uint64 { return p.LVQ.AddrMismatches.Value() })
+	r.Gauge("lvq.len", l, func() float64 { return float64(p.LVQ.Len()) })
+	r.Counter("lpq.pushes", l, func() uint64 { return p.LPQ.Pushes.Value() })
+	r.Counter("lpq.full_stalls", l, func() uint64 { return p.LPQ.FullStalls.Value() })
+	r.Gauge("lpq.len", l, func() float64 { return float64(p.LPQ.Len()) })
+	r.Counter("cmp.comparisons", l, func() uint64 { return p.Cmp.Comparisons.Value() })
+	r.Counter("cmp.mismatches", l, func() uint64 { return p.Cmp.Mismatches.Value() })
+	r.Counter("agg.forced_terminations", l, func() uint64 { return p.Agg.ForcedTerminations.Value() })
+	r.Counter("pair.detected", l, func() uint64 { return uint64(len(p.Detected)) })
+}

@@ -7,10 +7,12 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/program"
 	"repro/internal/rmt"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -100,6 +102,13 @@ type Machine struct {
 	// Devices holds each logical program's memory-mapped pseudo-device
 	// (uncached LDIO/STIO traffic), indexed like Leads.
 	Devices []*vm.PseudoDevice
+
+	// Metrics, when non-nil, is the observability registry built by
+	// EnableMetrics.
+	Metrics *metrics.Registry
+	// Events, when non-nil, is the structured event log attached by
+	// EnableTrace.
+	Events *trace.EventLog
 }
 
 // Build assembles the machine described by spec.

@@ -76,6 +76,16 @@ func (h *Histogram) Add(v int) {
 // Total returns the sample count.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Buckets returns a copy of the bucket counts (index = sample value).
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
 // Mean returns the mean sample value.
 func (h *Histogram) Mean() float64 {
 	if h.total == 0 {

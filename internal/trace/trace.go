@@ -48,6 +48,9 @@ func NewCollector(cap int) *Collector {
 // Hook returns the function to install as pipeline.Core.Trace.
 func (c *Collector) Hook() func(ev pipeline.TraceEvent) {
 	return func(ev pipeline.TraceEvent) {
+		if ev.Stage == pipeline.StageSquash || ev.Stage == pipeline.StageCompare {
+			return // point events belong to the EventLog, not the diagram
+		}
 		k := key{ev.TID, ev.Seq}
 		r, ok := c.recs[k]
 		if !ok {

@@ -1,0 +1,104 @@
+package rmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// observedSpecs is a small mixed sweep exercising SRT and CRT with the
+// observability layer attached.
+func observedSpecs() []Spec {
+	return []Spec{
+		{Mode: SRT, PSR: true, Programs: []string{"compress"}},
+		{Mode: CRT, PSR: true, Programs: []string{"compress", "swim"}},
+	}
+}
+
+// TestObservabilityParallelismInvariant is the acceptance check for the
+// observability artifacts: metrics and trace exports must be byte-identical
+// whether the sweep ran on 1 worker or 8.
+func TestObservabilityParallelismInvariant(t *testing.T) {
+	run := func(parallel int) []*Result {
+		res, err := Sweep(observedSpecs(),
+			WithBudget(1500), WithWarmup(800),
+			WithMetrics(), WithTrace(0),
+			WithParallelism(parallel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	wide := run(8)
+	if len(serial) != len(wide) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(wide))
+	}
+	for i := range serial {
+		if len(serial[i].MetricsJSON) == 0 || len(serial[i].TraceJSON) == 0 {
+			t.Fatalf("spec %d: missing observability artifacts", i)
+		}
+		if !bytes.Equal(serial[i].MetricsJSON, wide[i].MetricsJSON) {
+			t.Errorf("spec %d: metrics JSON differs between -parallel 1 and 8", i)
+		}
+		if !bytes.Equal(serial[i].TraceJSON, wide[i].TraceJSON) {
+			t.Errorf("spec %d: trace JSON differs between -parallel 1 and 8", i)
+		}
+	}
+}
+
+// TestObservabilityArtifactsWellFormed checks the exports parse as JSON and
+// the trace is in Chrome trace_event shape (Perfetto-loadable).
+func TestObservabilityArtifactsWellFormed(t *testing.T) {
+	res, err := Run(Spec{Mode: SRT, PSR: true, Programs: []string{"gcc"}},
+		WithBudget(1500), WithWarmup(800), WithMetrics(), WithTrace(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Cycle   uint64 `json:"cycle"`
+		Metrics []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(res.MetricsJSON, &snap); err != nil {
+		t.Fatalf("metrics export is not valid JSON: %v", err)
+	}
+	if snap.Cycle != res.Cycles || len(snap.Metrics) == 0 {
+		t.Errorf("metrics snapshot malformed: cycle=%d (want %d), %d metrics",
+			snap.Cycle, res.Cycles, len(snap.Metrics))
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+			PID   *int   `json:"pid"`
+			TID   *int   `json:"tid"`
+			TS    *int64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(res.TraceJSON, &tr); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace export has no events")
+	}
+	for i, ev := range tr.TraceEvents {
+		if ev.Phase != "X" && ev.Phase != "i" {
+			t.Fatalf("event %d: unexpected phase %q", i, ev.Phase)
+		}
+		if ev.PID == nil || ev.TID == nil || ev.TS == nil {
+			t.Fatalf("event %d: missing pid/tid/ts", i)
+		}
+	}
+
+	// Without the options, artifacts stay absent (and cost nothing).
+	plain, err := Run(Spec{Mode: SRT, PSR: true, Programs: []string{"gcc"}},
+		WithBudget(1500), WithWarmup(800))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MetricsJSON != nil || plain.TraceJSON != nil {
+		t.Error("artifacts present without WithMetrics/WithTrace")
+	}
+}

@@ -19,6 +19,7 @@
 package rmt
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"time"
@@ -114,6 +115,9 @@ type config struct {
 	parallelism int
 	progress    func(done, total int)
 	report      func(Report)
+	metrics     bool
+	trace       bool
+	traceCap    int
 }
 
 // Default sizes for Run/Sweep/BaseIPC when no WithBudget/WithWarmup option
@@ -172,6 +176,24 @@ func WithProgress(fn func(done, total int)) Option {
 // WithReport installs a callback receiving each sweep's timing Report.
 func WithReport(fn func(Report)) Option { return func(c *config) { c.report = fn } }
 
+// WithMetrics attaches the observability metrics registry to each
+// simulation: every pipeline structure's counters and occupancy histograms
+// are sampled and exported as an end-of-run JSON snapshot in
+// Result.MetricsJSON. The export is byte-identical at any parallelism.
+func WithMetrics() Option { return func(c *config) { c.metrics = true } }
+
+// WithTrace attaches a structured cycle-event trace to each simulation and
+// exports it in Chrome trace_event JSON (Perfetto-loadable) in
+// Result.TraceJSON. cap bounds the stored event count (0 = default); the
+// export is byte-identical at any parallelism. Tracing long runs is
+// memory-hungry: prefer small budgets.
+func WithTrace(cap int) Option {
+	return func(c *config) {
+		c.trace = true
+		c.traceCap = cap
+	}
+}
+
 // Report describes how a sweep spent its time.
 type Report struct {
 	// Jobs is the number of independent simulations; Parallelism the
@@ -228,6 +250,12 @@ type Result struct {
 	// Checks holds, per redundant pair, the sphere-of-replication
 	// activity. Empty for non-redundant modes.
 	Checks []PairChecks
+	// MetricsJSON is the end-of-run metrics snapshot (WithMetrics only):
+	// every registered counter, gauge and histogram, sorted by key.
+	MetricsJSON []byte
+	// TraceJSON is the structured event trace in Chrome trace_event JSON
+	// (WithTrace only), loadable in Perfetto / chrome://tracing.
+	TraceJSON []byte
 }
 
 // Run executes the single simulation described by spec.
@@ -312,6 +340,12 @@ func runOne(spec Spec, c config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.metrics {
+		m.EnableMetrics()
+	}
+	if c.trace {
+		m.EnableTrace(c.traceCap)
+	}
 	rs, err := m.Run()
 	if err != nil {
 		return nil, err
@@ -320,6 +354,20 @@ func runOne(spec Spec, c config) (*Result, error) {
 		Spec:   spec,
 		Cycles: rs.Cycles,
 		IPC:    rs.LogicalIPC,
+	}
+	if m.Metrics != nil {
+		var buf bytes.Buffer
+		if err := m.Metrics.Snapshot(rs.Cycles).WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		res.MetricsJSON = buf.Bytes()
+	}
+	if m.Events != nil {
+		var buf bytes.Buffer
+		if err := m.Events.WriteChromeJSON(&buf); err != nil {
+			return nil, err
+		}
+		res.TraceJSON = buf.Bytes()
 	}
 	for _, lead := range m.Leads {
 		res.StoreLifetime = append(res.StoreLifetime, lead.Stats.StoreLifetime.Value())
