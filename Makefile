@@ -42,4 +42,17 @@ FUZZTIME := 10s
 fuzz:
 	go test ./internal/isa/ -run '^$$' -fuzz FuzzLoadImage -fuzztime $(FUZZTIME)
 
-.PHONY: verify race lint smoke determinism cover fuzz
+# Performance harness: run the benchmark battery with allocation accounting
+# and fold the results into BENCH_4.json as the "current" role, next to the
+# recorded pre-optimisation baseline (see EXPERIMENTS.md).
+bench-json:
+	go test -run '^$$' -bench . -benchtime 1x -benchmem . | tee /tmp/rmt.bench.out
+	go run ./cmd/benchjson -o BENCH_4.json -role current /tmp/rmt.bench.out
+
+# CI-sized performance gate: every benchmark must still run (one iteration
+# at -short sizes), and a warm simulator must allocate nothing per cycle.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x -short .
+	go test ./internal/sim/ -run TestSteadyStateAllocs -count=1
+
+.PHONY: verify race lint smoke determinism cover fuzz bench-json bench-smoke

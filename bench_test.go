@@ -51,6 +51,7 @@ func benchExperiment(b *testing.B, run func(exp.Params) (*stats.Table, map[strin
 func BenchmarkTable1_BaseIPC(b *testing.B) {
 	p := benchParams(b)
 	var ipc float64
+	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		m, err := sim.Build(sim.Spec{
 			Mode: sim.ModeBase, Programs: []string{"gcc"},
@@ -64,8 +65,10 @@ func BenchmarkTable1_BaseIPC(b *testing.B) {
 			b.Fatal(err)
 		}
 		ipc = rs.LogicalIPC[0]
+		cycles = rs.Cycles
 	}
 	b.ReportMetric(ipc, "IPC")
+	b.ReportMetric(float64(cycles), "simcycles")
 }
 
 // BenchmarkFig6_SRT regenerates Figure 6: single logical thread under
@@ -96,7 +99,7 @@ func BenchmarkCoverage_Faults(b *testing.B) { benchExperiment(b, exp.Coverage) }
 
 // --- ablation benches (design choices from DESIGN.md §5) ---
 
-func ablationEff(b *testing.B, p exp.Params, spec sim.Spec) float64 {
+func ablationEff(b *testing.B, p exp.Params, spec sim.Spec, cycles *uint64) float64 {
 	base, err := sim.BaseIPC(p.Config, p.Warmup, p.Budget, spec.Programs...)
 	if err != nil {
 		b.Fatal(err)
@@ -114,6 +117,7 @@ func ablationEff(b *testing.B, p exp.Params, spec sim.Spec) float64 {
 	if err != nil {
 		b.Fatal(err)
 	}
+	*cycles += rs.Cycles
 	var sum float64
 	for i, name := range spec.Programs {
 		sum += rs.LogicalIPC[i] / base[name]
@@ -127,12 +131,15 @@ func ablationEff(b *testing.B, p exp.Params, spec sim.Spec) float64 {
 func BenchmarkAblation_SlackFetch(b *testing.B) {
 	p := benchParams(b)
 	var lpq, slack float64
+	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		lpq = ablationEff(b, p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: []string{"gcc"}})
-		slack = ablationEff(b, p, sim.Spec{Mode: sim.ModeSRT, PSR: true, SlackFetch: 64, Programs: []string{"gcc"}})
+		cycles = 0
+		lpq = ablationEff(b, p, sim.Spec{Mode: sim.ModeSRT, PSR: true, Programs: []string{"gcc"}}, &cycles)
+		slack = ablationEff(b, p, sim.Spec{Mode: sim.ModeSRT, PSR: true, SlackFetch: 64, Programs: []string{"gcc"}}, &cycles)
 	}
 	b.ReportMetric(lpq, "eff-lpq-priority")
 	b.ReportMetric(slack, "eff-slack-64")
+	b.ReportMetric(float64(cycles), "simcycles")
 }
 
 // BenchmarkAblation_LVQDepth sweeps the load value queue size: too shallow
@@ -141,18 +148,21 @@ func BenchmarkAblation_LVQDepth(b *testing.B) {
 	p := benchParams(b)
 	effs := map[int]float64{}
 	sizes := []int{8, 16, 64}
+	var cycles uint64
 	for i := 0; i < b.N; i++ {
+		cycles = 0
 		for _, sz := range sizes {
 			cfg := p.Config
 			cfg.LVQSize = sz
 			effs[sz] = ablationEff(b, p, sim.Spec{
 				Mode: sim.ModeSRT, PSR: true, Programs: []string{"li"}, Config: cfg,
-			})
+			}, &cycles)
 		}
 	}
 	b.ReportMetric(effs[8], "eff-lvq8")
 	b.ReportMetric(effs[16], "eff-lvq16")
 	b.ReportMetric(effs[64], "eff-lvq64")
+	b.ReportMetric(float64(cycles), "simcycles")
 }
 
 // BenchmarkAblation_CRTForwardLatency checks CRT's robustness to the
@@ -162,17 +172,22 @@ func BenchmarkAblation_LVQDepth(b *testing.B) {
 func BenchmarkAblation_CRTForwardLatency(b *testing.B) {
 	p := benchParams(b)
 	var crt float64
+	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		crt = ablationEff(b, p, sim.Spec{Mode: sim.ModeCRT, PSR: true, Programs: []string{"gcc", "swim"}})
+		cycles = 0
+		crt = ablationEff(b, p, sim.Spec{Mode: sim.ModeCRT, PSR: true, Programs: []string{"gcc", "swim"}}, &cycles)
 	}
 	b.ReportMetric(crt, "eff-crt-4cycle")
+	b.ReportMetric(float64(cycles), "simcycles")
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
-// instructions per wall-clock second over a mixed 4-thread workload.
+// BenchmarkSimulatorThroughput measures raw simulation speed over a mixed
+// 4-thread workload: simulated instructions per iteration, plus the two
+// headline throughput rates — simulated cycles per wall-clock second and
+// thousands of committed instructions per wall-clock second (KIPS).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	p := benchParams(b)
-	var simulated uint64
+	var simulated, cycles uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := sim.Build(sim.Spec{
@@ -187,6 +202,12 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		simulated += rs.TotalCommitted()
+		cycles += rs.Cycles
 	}
 	b.ReportMetric(float64(simulated)/float64(b.N), "instructions/op")
+	b.ReportMetric(float64(cycles)/float64(b.N), "simcycles")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(cycles)/secs, "cycles/sec")
+		b.ReportMetric(float64(simulated)/secs/1000, "KIPS")
+	}
 }

@@ -1,0 +1,184 @@
+// Command benchjson folds `go test -bench` output into BENCH_4.json, the
+// repository's recorded performance artifact. Each benchmark is stored
+// twice — a "baseline" (pre-optimisation) and a "current" run — with the
+// derived throughput rate alongside the raw numbers:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . > bench.out
+//	go run ./cmd/benchjson -o BENCH_4.json -role current bench.out
+//
+// The tool merges into an existing file, so the two roles can be recorded
+// from different checkouts. cycles_per_sec is simulated cycles per
+// wall-clock second, computed from the "simcycles" metric the benchmarks
+// report; a role that predates the metric borrows the other role's
+// simcycles, which is sound because the optimisations the file exists to
+// track are timing-invariant (the simulated machine executes the same
+// cycle count either way).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Run is one recorded benchmark execution.
+type Run struct {
+	NsPerOp      float64            `json:"ns_per_op"`
+	AllocsPerOp  float64            `json:"allocs_per_op"`
+	BytesPerOp   float64            `json:"bytes_per_op"`
+	CyclesPerSec float64            `json:"cycles_per_sec,omitempty"`
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry pairs the two roles and their headline ratio.
+type Entry struct {
+	Baseline *Run `json:"baseline,omitempty"`
+	Current  *Run `json:"current,omitempty"`
+	// Speedup is baseline ns/op over current ns/op (>1 = faster now).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+func parseBench(r io.Reader) (map[string]*Run, error) {
+	runs := map[string]*Run{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -N GOMAXPROCS suffix go test appends to the name.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		run := &Run{Metrics: map[string]float64{}}
+		// fields[1] is the iteration count; the rest are "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %s: bad value %q", name, fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				run.NsPerOp = v
+			case "allocs/op":
+				run.AllocsPerOp = v
+			case "B/op":
+				run.BytesPerOp = v
+			default:
+				run.Metrics[unit] = v
+			}
+		}
+		runs[name] = run
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found")
+	}
+	return runs, nil
+}
+
+// cyclesPerSec derives simulated-cycles-per-wall-second for run, borrowing
+// the simcycles metric from other when run predates it.
+func cyclesPerSec(run, other *Run) float64 {
+	if run == nil || run.NsPerOp <= 0 {
+		return 0
+	}
+	cycles, ok := run.Metrics["simcycles"]
+	if !ok && other != nil {
+		cycles, ok = other.Metrics["simcycles"]
+	}
+	if !ok || cycles <= 0 {
+		return 0
+	}
+	return cycles / (run.NsPerOp * 1e-9)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_4.json", "output JSON file (merged in place)")
+	role := flag.String("role", "current", `which role this run records: "baseline" or "current"`)
+	flag.Parse()
+	if *role != "baseline" && *role != "current" {
+		fmt.Fprintf(os.Stderr, "benchjson: -role must be baseline or current, got %q\n", *role)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	runs, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	entries := map[string]*Entry{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not valid: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	for name, run := range runs {
+		e := entries[name]
+		if e == nil {
+			e = &Entry{}
+			entries[name] = e
+		}
+		if *role == "baseline" {
+			e.Baseline = run
+		} else {
+			e.Current = run
+		}
+	}
+	for _, e := range entries {
+		e.Baseline, e.Current = fill(e.Baseline, e.Current)
+		if e.Baseline != nil && e.Current != nil && e.Current.NsPerOp > 0 {
+			e.Speedup = e.Baseline.NsPerOp / e.Current.NsPerOp
+		}
+	}
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: recorded %d benchmarks as %s in %s\n", len(runs), *role, *out)
+}
+
+// fill recomputes both roles' derived rates, each borrowing the other's
+// simcycles when its own run predates the metric.
+func fill(baseline, current *Run) (*Run, *Run) {
+	if baseline != nil {
+		baseline.CyclesPerSec = cyclesPerSec(baseline, current)
+	}
+	if current != nil {
+		current.CyclesPerSec = cyclesPerSec(current, baseline)
+	}
+	return baseline, current
+}

@@ -39,6 +39,7 @@ const ModPath = "repro"
 var layerOf = map[string]int{
 	ModPath:                        7,
 	ModPath + "/internal/isa":      0,
+	ModPath + "/internal/ringq":    0,
 	ModPath + "/internal/stats":    0,
 	ModPath + "/internal/runner":   0,
 	ModPath + "/internal/metrics":  0,

@@ -175,6 +175,17 @@ func sweep(p Params, jobs []job, cache *baseCache) ([]result, error) {
 // SMT-Efficiency for a run (Snavely-Tullsen weighted speedup).
 func meanEff(effs []float64) float64 { return stats.ArithMean(effs) }
 
+// sumCycles totals simulated cycles across a sweep, published in each
+// figure's summary under "simcycles" so the benchmark harness can report
+// simulator throughput (simulated cycles per wall-clock second).
+func sumCycles(res []result) float64 {
+	var total uint64
+	for _, r := range res {
+		total += r.rs.Cycles
+	}
+	return float64(total)
+}
+
 // Table1 prints the base processor parameters (the paper's Table 1), taken
 // live from the configuration so the reported machine is the simulated one.
 func Table1(cfg pipeline.Config) *stats.Table {
@@ -224,6 +235,7 @@ func Fig6(p Params) (*stats.Table, map[string]float64, error) {
 		{"SRT+noSC", sim.Spec{Mode: sim.ModeSRT, PSR: true, NoStoreComparison: true}},
 	}
 	names := program.Names()
+	t.Grow(len(names) + 1)
 	// Job list: names x configs, row-major.
 	var jobs []job
 	for _, name := range names {
@@ -255,6 +267,7 @@ func Fig6(p Params) (*stats.Table, map[string]float64, error) {
 		mrow = append(mrow, fmt.Sprintf("%.3f", mean))
 	}
 	t.AddRow(mrow...)
+	summary["simcycles"] = sumCycles(res)
 	return t, summary, nil
 }
 
@@ -269,6 +282,7 @@ func Fig7(p Params) (*stats.Table, map[string]float64, error) {
 		Columns: []string{"program", "sameHalf noPSR", "sameFU noPSR", "sameHalf PSR", "sameFU PSR", "eff noPSR", "eff PSR"},
 	}
 	names := program.Names()
+	t.Grow(len(names) + 1)
 	psrs := []bool{false, true}
 	var jobs []job
 	for _, name := range names {
@@ -308,6 +322,7 @@ func Fig7(p Params) (*stats.Table, map[string]float64, error) {
 		"sameFU.PSR":     stats.ArithMean(aggFUOn),
 		"eff.noPSR":      stats.ArithMean(effOff),
 		"eff.PSR":        stats.ArithMean(effOn),
+		"simcycles":      sumCycles(res),
 	}
 	t.AddRow("MEAN",
 		fmt.Sprintf("%.3f", summary["sameHalf.noPSR"]), fmt.Sprintf("%.3f", summary["sameFU.noPSR"]),
@@ -325,6 +340,7 @@ func Fig8(p Params) (*stats.Table, map[string]float64, error) {
 		Columns: []string{"pair", "Base(2 threads)", "SRT", "SRT+ptSQ"},
 	}
 	pairs := program.MultiprogramPairs()
+	t.Grow(len(pairs) + 1)
 	var jobs []job
 	for _, pr := range pairs {
 		progs := []string{pr[0], pr[1]}
@@ -348,9 +364,10 @@ func Fig8(p Params) (*stats.Table, map[string]float64, error) {
 		t.AddRowf(pr[0]+"+"+pr[1], be, se, pe)
 	}
 	summary := map[string]float64{
-		"base2t": stats.ArithMean(b),
-		"srt":    stats.ArithMean(s),
-		"ptsq":   stats.ArithMean(sp),
+		"base2t":    stats.ArithMean(b),
+		"srt":       stats.ArithMean(s),
+		"ptsq":      stats.ArithMean(sp),
+		"simcycles": sumCycles(res),
 	}
 	t.AddRowf("MEAN", summary["base2t"], summary["srt"], summary["ptsq"])
 	return t, summary, nil
@@ -366,6 +383,7 @@ func Fig9(p Params) (*stats.Table, map[string]float64, error) {
 		Columns: []string{"program", "base life", "SRT life", "delta", "eff SQ=32", "eff SQ=48", "eff SQ=64", "eff ptSQ"},
 	}
 	names := program.Names()
+	t.Grow(len(names) + 1)
 	sqSizes := []int{32, 48, 64}
 	perName := 3 + len(sqSizes) // base, SRT, SQ sweep..., ptSQ
 	var jobs []job
@@ -415,6 +433,7 @@ func Fig9(p Params) (*stats.Table, map[string]float64, error) {
 		"eff.sq48":       stats.ArithMean(effSums[48]),
 		"eff.sq64":       stats.ArithMean(effSums[64]),
 		"eff.ptsq":       stats.ArithMean(effSums[-1]),
+		"simcycles":      sumCycles(res),
 	}
 	t.AddRow("MEAN", "", "", fmt.Sprintf("%+.1f", summary["lifetime.delta"]),
 		fmt.Sprintf("%.3f", summary["eff.sq32"]), fmt.Sprintf("%.3f", summary["eff.sq48"]),
@@ -430,6 +449,7 @@ func lockCRTTable(p Params, title string, groups [][]string) (*stats.Table, map[
 		Columns: []string{"workload", "Lock0", "Lock8", "CRT", "CRT+ptSQ"},
 	}
 	const perGroup = 4
+	t.Grow(len(groups) + 1)
 	var jobs []job
 	for _, progs := range groups {
 		jobs = append(jobs,
@@ -462,10 +482,11 @@ func lockCRTTable(p Params, title string, groups [][]string) (*stats.Table, map[
 		t.AddRowf(label, l0, l8, c, cp)
 	}
 	summary := map[string]float64{
-		"lock0":    stats.ArithMean(l0s),
-		"lock8":    stats.ArithMean(l8s),
-		"crt":      stats.ArithMean(cs),
-		"crt+ptsq": stats.ArithMean(cps),
+		"lock0":     stats.ArithMean(l0s),
+		"lock8":     stats.ArithMean(l8s),
+		"crt":       stats.ArithMean(cs),
+		"crt+ptsq":  stats.ArithMean(cps),
+		"simcycles": sumCycles(res),
 	}
 	t.AddRowf("MEAN", summary["lock0"], summary["lock8"], summary["crt"], summary["crt+ptsq"])
 	return t, summary, nil
@@ -514,6 +535,7 @@ func Coverage(p Params) (*stats.Table, map[string]float64, error) {
 	}
 	kernels := []string{"gcc", "compress", "li", "swim", "wave5", "m88ksim"}
 	summary := map[string]float64{}
+	var simCycles float64
 	for _, mode := range []sim.Mode{sim.ModeSRT, sim.ModeCRT} {
 		var det, msk, nf, runs int
 		var lat []float64
@@ -532,6 +554,7 @@ func Coverage(p Params) (*stats.Table, map[string]float64, error) {
 			msk += sum.Masked
 			nf += sum.NotFired
 			runs += sum.Runs
+			simCycles += float64(sum.TotalCycles)
 			if sum.Detected > 0 {
 				lat = append(lat, sum.MeanDetectionCycles)
 			}
@@ -543,6 +566,7 @@ func Coverage(p Params) (*stats.Table, map[string]float64, error) {
 		summary["coverage."+mode.String()] = cov
 		summary["latency."+mode.String()] = meanLat
 	}
+	summary["simcycles"] = simCycles
 	return t, summary, nil
 }
 

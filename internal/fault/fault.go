@@ -135,6 +135,9 @@ type Result struct {
 	// DetectionCycles is the cycle count from injection to the first
 	// recorded mismatch (Detected only).
 	DetectionCycles uint64
+	// Cycles is the total number of cycles the trial simulated, whatever
+	// the outcome — the campaign's unit of simulation work.
+	Cycles uint64
 }
 
 // CampaignSummary aggregates a campaign.
@@ -145,7 +148,10 @@ type CampaignSummary struct {
 	NotFired int
 	// MeanDetectionCycles averages detection latency over detected runs.
 	MeanDetectionCycles float64
-	Results             []Result
+	// TotalCycles sums the simulated cycles of every trial: the campaign's
+	// total simulation work, used to express throughput as cycles/second.
+	TotalCycles uint64
+	Results     []Result
 }
 
 // Coverage returns detected / (detected + masked-that-mattered)… for RMT the
@@ -244,6 +250,7 @@ func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (
 	sum := &CampaignSummary{Runs: n, Results: results}
 	var totalLatency uint64
 	for _, res := range results {
+		sum.TotalCycles += res.Cycles
 		switch res.Outcome {
 		case Detected:
 			sum.Detected++
@@ -312,7 +319,7 @@ func RunOne(spec sim.Spec, f Transient) (Result, error) {
 	if tr := m.Trails[f.Logical]; tr != nil {
 		haltDivergence = m.Leads[f.Logical].Arch.Halted != tr.Arch.Halted
 	}
-	res := Result{Fault: f}
+	res := Result{Fault: f, Cycles: m.Cores[0].Cycle()}
 	switch {
 	case len(m.Detections()) > 0 || haltDivergence:
 		res.Outcome = Detected

@@ -257,13 +257,23 @@ func NewHierarchy(cfg HierarchyConfig, shared *Cache) *Hierarchy {
 	return h
 }
 
+// mergeEntry is one block-granularity write-combining entry.
+type mergeEntry struct {
+	block uint64
+	done  uint64 // earliest drain cycle
+	valid bool
+}
+
 // MergeBuffer models the coalescing merge buffer between the store queue and
 // the data cache: a small write-combining buffer with a fixed number of
-// block-granularity entries, draining one block write per cycle.
+// block-granularity entries, draining one block write per cycle. The
+// hardware is a 16-entry CAM, and the model matches: a fixed slot array
+// searched linearly, which at this size is faster than a map and never
+// allocates after construction.
 type MergeBuffer struct {
-	capacity  int
 	blockBits uint
-	entries   map[uint64]uint64 // block addr -> earliest drain cycle
+	slots     []mergeEntry // fixed length = capacity
+	n         int
 	dcache    *Cache
 
 	Coalesced stats.Counter
@@ -277,20 +287,29 @@ func NewMergeBuffer(capacity int, blockBytes int, d *Cache) *MergeBuffer {
 		bb++
 	}
 	return &MergeBuffer{
-		capacity:  capacity,
 		blockBits: bb,
-		entries:   make(map[uint64]uint64),
+		slots:     make([]mergeEntry, capacity),
 		dcache:    d,
 	}
+}
+
+// find returns the index of the valid slot holding block, or -1.
+func (m *MergeBuffer) find(block uint64) int {
+	for i := range m.slots {
+		if m.slots[i].valid && m.slots[i].block == block {
+			return i
+		}
+	}
+	return -1
 }
 
 // CanAccept reports whether a store to addr can enter at cycle now.
 func (m *MergeBuffer) CanAccept(addr uint64, now uint64) bool {
 	m.expire(now)
-	if _, ok := m.entries[addr>>m.blockBits]; ok {
+	if m.find(addr>>m.blockBits) >= 0 {
 		return true // coalesces into an existing entry
 	}
-	return len(m.entries) < m.capacity
+	return m.n < len(m.slots)
 }
 
 // Accept enqueues a store to addr at cycle now. Callers must have checked
@@ -298,20 +317,28 @@ func (m *MergeBuffer) CanAccept(addr uint64, now uint64) bool {
 func (m *MergeBuffer) Accept(addr uint64, now uint64) {
 	m.Writes.Inc()
 	b := addr >> m.blockBits
-	if _, ok := m.entries[b]; ok {
+	if m.find(b) >= 0 {
 		m.Coalesced.Inc()
 		return
 	}
 	// The block write reaches the data cache after the write completes;
 	// model the cache fill (write-allocate) and hold the entry until then.
 	done := m.dcache.Access(addr, now)
-	m.entries[b] = done
+	for i := range m.slots {
+		if !m.slots[i].valid {
+			m.slots[i] = mergeEntry{block: b, done: done, valid: true}
+			m.n++
+			return
+		}
+	}
+	panic("mem: merge buffer has no free slot despite not being full")
 }
 
 func (m *MergeBuffer) expire(now uint64) {
-	for b, done := range m.entries {
-		if done <= now {
-			delete(m.entries, b)
+	for i := range m.slots {
+		if m.slots[i].valid && m.slots[i].done <= now {
+			m.slots[i] = mergeEntry{}
+			m.n--
 		}
 	}
 }
@@ -319,5 +346,5 @@ func (m *MergeBuffer) expire(now uint64) {
 // Occupancy returns the number of live entries at cycle now.
 func (m *MergeBuffer) Occupancy(now uint64) int {
 	m.expire(now)
-	return len(m.entries)
+	return m.n
 }

@@ -166,6 +166,12 @@ type Config struct {
 	// WatchdogCycles aborts the run if no instruction retires for this
 	// many cycles (deadlock detection). 0 disables.
 	WatchdogCycles uint64
+
+	// DisableInstPool turns off dynamic-instruction recycling (every
+	// dynInst is heap-allocated and never reused). Timing is identical
+	// either way; the knob exists so tests can diff the pooled machine
+	// against the allocation-per-instruction one.
+	DisableInstPool bool
 }
 
 // DefaultConfig returns the Table 1 base-machine parameters.

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/predict"
+	"repro/internal/ringq"
 	"repro/internal/rmt"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -58,29 +59,43 @@ type Context struct {
 	lastChunkStart uint64
 	haveLastChunk  bool
 
+	// decode is the static decode table, indexed by PC (built once per
+	// context at AddContext from the program's code image).
+	decode []decodedInst
+
+	// freeInsts is the context's dynInst recycling pool: instructions are
+	// returned here after retirement (stores: after drain) and reused by
+	// fetch, so the steady-state per-cycle path allocates nothing.
+	freeInsts []*dynInst
+	// poolDisabled turns recycling off (testing knob: the pooled and
+	// unpooled machines must be cycle-identical).
+	poolDisabled bool
+
 	// rmb is the rate-matching buffer: fetched, decoded instructions in
 	// program order awaiting rename.
-	rmb []*dynInst
+	rmb *ringq.Ring[*dynInst]
 
 	// rob is the in-flight window (renamed, unretired), program order.
-	rob []*dynInst
+	rob *ringq.Ring[*dynInst]
 
 	// Rename tables: last in-flight writer per architectural register.
-	lastInt [32]*dynInst
-	lastFP  [32]*dynInst
+	// Generation-checked references: a recycled producer reads as nil,
+	// which renameSources treats the same as "no in-flight writer".
+	lastInt [32]instRef
+	lastFP  [32]instRef
 
 	// inFlightStores tracks renamed, undrained stores for memory
 	// disambiguation and the partial-forward rule.
-	inFlightStores []*dynInst
+	inFlightStores *ringq.Ring[*dynInst]
 
 	// retiredStores holds retired-but-undrained stores in program order
 	// (leading: awaiting verification; single: awaiting merge-buffer
 	// drain).
-	retiredStores []*dynInst
+	retiredStores *ringq.Ring[*dynInst]
 
 	// trailRetiredStores holds retired trailing stores whose comparator
 	// records have not yet been consumed (their SQ entries stay busy).
-	trailRetiredStores []*dynInst
+	trailRetiredStores *ringq.Ring[*dynInst]
 
 	// Queue occupancies and caps (static division of Table 1's queues).
 	lqUsed, sqUsed int
@@ -88,6 +103,14 @@ type Context struct {
 
 	// iqOccupancy caches this thread's instruction-queue slot usage.
 	iqOccupancy int
+
+	// iq lists this thread's instruction-queue residents (dispatched, not
+	// yet issued) in age order. It mirrors the inIQ flag exactly — pushed
+	// at dispatch, removed at issue — so the scheduler scans only live
+	// candidates instead of walking the whole reorder buffer every cycle.
+	// Pure scan bookkeeping: the candidates and their visit order are
+	// identical to the full ROB walk's.
+	iq *ringq.Ring[*dynInst]
 
 	// nextInterruptAt is the next timer-interrupt cycle (0 = disabled or
 	// trailing role, which follows the pair's replicated schedule).
@@ -105,6 +128,33 @@ type Context struct {
 	warmed    bool
 }
 
+// allocInst draws a dynamic instruction from the recycling pool, falling
+// back to the heap while the pool warms up (or when recycling is disabled).
+func (c *Context) allocInst() *dynInst {
+	if n := len(c.freeInsts); n > 0 {
+		d := c.freeInsts[n-1]
+		c.freeInsts[n-1] = nil
+		c.freeInsts = c.freeInsts[:n-1]
+		return d
+	}
+	return new(dynInst)
+}
+
+// freeInst returns a dynamic instruction to the pool, bumping its generation
+// so outstanding instRefs to it resolve to nil ("retired/drained") instead
+// of aliasing its next incarnation. Instructions are only freed once fully
+// done — retired for non-stores, retired and drained for stores — which is
+// exactly the state every reader already treats as "architecturally ready".
+func (c *Context) freeInst(d *dynInst) {
+	if c.poolDisabled {
+		return
+	}
+	*d = dynInst{gen: d.gen + 1}
+	if len(c.freeInsts) < cap(c.freeInsts) {
+		c.freeInsts = append(c.freeInsts, d)
+	}
+}
+
 // Committed returns the number of retired instructions.
 func (c *Context) Committed() uint64 { return c.committed }
 
@@ -115,10 +165,10 @@ func (c *Context) BudgetReached() bool {
 
 // robHead returns the oldest in-flight instruction, nil if none.
 func (c *Context) robHead() *dynInst {
-	if len(c.rob) == 0 {
+	if c.rob.Empty() {
 		return nil
 	}
-	return c.rob[0]
+	return c.rob.Front()
 }
 
 // usesLoadQueue reports whether the context's loads occupy load-queue
@@ -130,7 +180,7 @@ func (c *Context) usesLoadQueue() bool { return c.Role != RoleTrailing }
 // matching buffer, instruction queue slots, store queue, load queue) for
 // the observability layer's gauges and per-cycle histograms.
 func (c *Context) Occupancy() (rob, rmb, iq, sq, lq int) {
-	return len(c.rob), len(c.rmb), c.iqOccupancy, c.sqUsed, c.lqUsed
+	return c.rob.Len(), c.rmb.Len(), c.iqOccupancy, c.sqUsed, c.lqUsed
 }
 
 // QueueCaps reports the context's static store/load queue shares.
@@ -138,6 +188,6 @@ func (c *Context) QueueCaps() (sq, lq int) { return c.sqCap, c.lqCap }
 
 // drainedAndIdle reports whether the context has no in-flight work at all.
 func (c *Context) drainedAndIdle() bool {
-	return len(c.rob) == 0 && len(c.rmb) == 0 &&
-		len(c.retiredStores) == 0 && len(c.trailRetiredStores) == 0
+	return c.rob.Empty() && c.rmb.Empty() &&
+		c.retiredStores.Empty() && c.trailRetiredStores.Empty()
 }

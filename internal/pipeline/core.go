@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/predict"
+	"repro/internal/ringq"
 	"repro/internal/stats"
 )
 
@@ -156,6 +157,8 @@ func (co *Core) AddContext(ctx *Context) {
 	if ctx.Stats == nil {
 		ctx.Stats = &stats.ThreadStats{}
 	}
+	ctx.decode = buildDecode(&co.cfg, ctx.Arch.Prog)
+	ctx.poolDisabled = co.cfg.DisableInstPool
 	co.ctxs = append(co.ctxs, ctx)
 }
 
@@ -179,7 +182,27 @@ func (co *Core) FinalizeQueues() {
 		if c.usesLoadQueue() {
 			c.lqCap = co.cfg.LQCap / nLQ
 		}
+		co.allocQueues(c)
 	}
+}
+
+// allocQueues sizes the context's ring buffers and recycling pool from the
+// final capacities: the RMB and window at their configured caps, and every
+// store list at the store-queue share (each entry holds an SQ slot until it
+// drains, so sqCap bounds all three). The pool's high-water mark is the sum
+// of every structure that can hold a live instruction.
+func (co *Core) allocQueues(c *Context) {
+	if c.rmb != nil {
+		return // already allocated (FinalizeQueues called again)
+	}
+	c.rmb = ringq.New[*dynInst](co.cfg.RMBCap)
+	c.rob = ringq.New[*dynInst](co.cfg.InFlightCap)
+	c.iq = ringq.New[*dynInst](2 * co.cfg.IQHalfCap)
+	sq := max(c.sqCap, 1)
+	c.inFlightStores = ringq.New[*dynInst](sq)
+	c.retiredStores = ringq.New[*dynInst](sq)
+	c.trailRetiredStores = ringq.New[*dynInst](sq)
+	c.freeInsts = make([]*dynInst, 0, co.cfg.RMBCap+co.cfg.InFlightCap+2*sq)
 }
 
 // iAddr maps a program counter into the tagged instruction address space.
@@ -241,7 +264,7 @@ func (co *Core) inFlightHasRoom(ctx *Context) bool {
 		if o == ctx {
 			continue
 		}
-		if n := len(o.rob); n < co.cfg.ChunkSize {
+		if n := o.rob.Len(); n < co.cfg.ChunkSize {
 			reserve += co.cfg.ChunkSize - n
 		}
 	}
@@ -279,7 +302,7 @@ func (co *Core) String() string {
 	s := fmt.Sprintf("core%d cyc=%d iq=%d/%d", co.ID, co.cycle, co.iqUsed[0], co.iqUsed[1])
 	for _, c := range co.ctxs {
 		s += fmt.Sprintf(" [t%d %s rob=%d rmb=%d sq=%d/%d committed=%d]",
-			c.TID, c.Role, len(c.rob), len(c.rmb), c.sqUsed, c.sqCap, c.committed)
+			c.TID, c.Role, c.rob.Len(), c.rmb.Len(), c.sqUsed, c.sqCap, c.committed)
 	}
 	return s
 }

@@ -12,8 +12,8 @@ func (co *Core) dispatchStage() {
 	if ctx == nil {
 		return
 	}
-	for n := 0; n < co.cfg.MapWidth && len(ctx.rmb) > 0; n++ {
-		d := ctx.rmb[0]
+	for n := 0; n < co.cfg.MapWidth && !ctx.rmb.Empty(); n++ {
+		d := ctx.rmb.Front()
 		if d.rmbReadyAt > co.cycle {
 			break
 		}
@@ -35,15 +35,16 @@ func (co *Core) dispatchStage() {
 		}
 
 		// All resources available: dispatch.
-		ctx.rmb = ctx.rmb[1:]
+		ctx.rmb.Pop()
 		d.renameCycle = co.cycle
 		d.earliestIssue = co.cycle + PBOXLatency + QBOXLatency
 		d.upperHalf = upper
 		d.inIQ = true
+		ctx.iq.Push(d)
 		co.iqUsed[halfIdx(upper)]++
 		ctx.iqOccupancy++
 		co.inFlight++
-		ctx.rob = append(ctx.rob, d)
+		ctx.rob.Push(d)
 
 		co.emit(ctx, d, StageDispatch, co.cycle)
 		co.renameSources(ctx, d)
@@ -65,10 +66,10 @@ func (co *Core) chooseDispatchThread() *Context {
 	bestCount := 0
 	for i := 0; i < n; i++ {
 		ctx := co.ctxs[(co.dispatchRR+i)%n]
-		if len(ctx.rmb) == 0 || ctx.rmb[0].rmbReadyAt > co.cycle {
+		if ctx.rmb.Empty() || ctx.rmb.Front().rmbReadyAt > co.cycle {
 			continue
 		}
-		if count := len(ctx.rob); best == nil || count < bestCount {
+		if count := ctx.rob.Len(); best == nil || count < bestCount {
 			best, bestCount = ctx, count
 		}
 	}
@@ -146,33 +147,32 @@ func srcRegs(ins isa.Instr) (a isa.Reg, aFP, aOK bool, b isa.Reg, bFP, bOK bool,
 }
 
 // renameSources wires the dynInst to its in-flight producers and records it
-// as the new producer of its destination.
+// as the new producer of its destination. Sources and destination come from
+// the static decode table (the zero register was already filtered out at
+// decode, matching the old per-dispatch check).
 func (co *Core) renameSources(ctx *Context, d *dynInst) {
-	ins := d.out.Instr
-	a, aFP, aOK, b, bFP, bOK, sd, sdFP, sdOK := srcRegs(ins)
-	producer := func(r isa.Reg, fp bool) *dynInst {
-		if r == isa.ZeroReg {
-			return nil
-		}
+	var scratch decodedInst
+	dec := ctx.decodeOf(&co.cfg, d, &scratch)
+	producer := func(r uint8, fp bool) instRef {
 		if fp {
 			return ctx.lastFP[r]
 		}
 		return ctx.lastInt[r]
 	}
-	if aOK {
-		d.srcA = producer(a, aFP)
+	if dec.srcA != noReg {
+		d.srcA = producer(dec.srcA, dec.aFP)
 	}
-	if bOK {
-		d.srcB = producer(b, bFP)
+	if dec.srcB != noReg {
+		d.srcB = producer(dec.srcB, dec.bFP)
 	}
-	if sdOK {
-		d.srcD = producer(sd, sdFP)
+	if dec.srcD != noReg {
+		d.srcD = producer(dec.srcD, dec.dFP)
 	}
-	if ins.HasDest() && !ins.IsStore() && ins.Rd != isa.ZeroReg {
-		if ins.DestIsFP() {
-			ctx.lastFP[ins.Rd] = d
+	if dec.dest != noReg {
+		if dec.destFP {
+			ctx.lastFP[dec.dest] = ref(d)
 		} else {
-			ctx.lastInt[ins.Rd] = d
+			ctx.lastInt[dec.dest] = ref(d)
 		}
 	}
 }
@@ -214,7 +214,7 @@ func (co *Core) dispatchMem(ctx *Context, d *dynInst) {
 	// never misspeculate and their loads don't probe the SQ).
 	if ctx.Role == RoleTrailing {
 		if d.isStore() {
-			ctx.inFlightStores = append(ctx.inFlightStores, d)
+			ctx.inFlightStores.Push(d)
 		}
 		return
 	}
@@ -222,13 +222,13 @@ func (co *Core) dispatchMem(ctx *Context, d *dynInst) {
 	if d.isLoad() {
 		// Oracle memory disambiguation: find the youngest older
 		// overlapping in-flight store.
-		for i := len(ctx.inFlightStores) - 1; i >= 0; i-- {
-			s := ctx.inFlightStores[i]
+		for i := ctx.inFlightStores.Len() - 1; i >= 0; i-- {
+			s := ctx.inFlightStores.At(i)
 			if s.out.Seq > d.out.Seq || s.drained {
 				continue
 			}
 			if overlaps(s.out.Addr, s.out.Size, d.out.Addr, d.out.Size) {
-				d.depStore = s
+				d.depStore = ref(s)
 				d.covered = covers(s.out.Addr, s.out.Size, d.out.Addr, d.out.Size)
 				d.partial = !d.covered
 				if d.partial {
@@ -244,10 +244,10 @@ func (co *Core) dispatchMem(ctx *Context, d *dynInst) {
 		// Store-sets prediction: a load in a store's set waits for it.
 		pcKey := co.iAddr(ctx, d.out.PC)
 		if depTag := co.storeSets.DependsOn(pcKey, false, 0); depTag != 0 {
-			for i := len(ctx.inFlightStores) - 1; i >= 0; i-- {
-				s := ctx.inFlightStores[i]
+			for i := ctx.inFlightStores.Len() - 1; i >= 0; i-- {
+				s := ctx.inFlightStores.At(i)
 				if s.out.Seq == depTag-1 && !s.drained {
-					d.predictedDep = s
+					d.predictedDep = ref(s)
 					break
 				}
 			}
@@ -255,6 +255,6 @@ func (co *Core) dispatchMem(ctx *Context, d *dynInst) {
 	} else {
 		pcKey := co.iAddr(ctx, d.out.PC)
 		co.storeSets.DependsOn(pcKey, true, d.out.Seq+1) // register in LFST (tag = seq+1, 0 means none)
-		ctx.inFlightStores = append(ctx.inFlightStores, d)
+		ctx.inFlightStores.Push(d)
 	}
 }

@@ -81,17 +81,17 @@ type dynInst struct {
 	// fu is the functional unit the instruction issued on (half*4+slot).
 	fu uint8
 
-	// Producers for operand readiness (nil = architecturally ready).
-	srcA, srcB, srcD *dynInst
+	// Producers for operand readiness (zero ref = architecturally ready).
+	srcA, srcB, srcD instRef
 
 	// Memory dependence: the youngest older overlapping store. covered
 	// means full containment (store-queue forwarding possible); partial
 	// means the store must drain before the load may access the cache.
-	depStore *dynInst
+	depStore instRef
 	covered  bool
 	partial  bool
 	// predictedDep is the store-sets-predicted producer store.
-	predictedDep *dynInst
+	predictedDep instRef
 
 	// Branch state, decided at fetch against the oracle outcome.
 	mispredicted bool
@@ -112,7 +112,47 @@ type dynInst struct {
 	hasLeadInfo bool
 	leadUpper   bool
 	leadFU      uint8
+
+	// gen is the recycling generation, incremented each time the dynInst
+	// returns to its context's free list. instRefs snapshot it so stale
+	// references to a recycled instruction resolve to "gone" instead of
+	// aliasing whatever dynamic instruction reuses the storage.
+	gen uint64
 }
+
+// instRef is a recycling-safe reference to a dynInst: the pointer plus the
+// generation it was taken at. An instruction is only ever recycled after it
+// has retired (and, for stores, drained), so a reference whose generation no
+// longer matches denotes a retired/drained producer — exactly the condition
+// under which the unpooled model treated the pointer as satisfied. get
+// therefore returns nil both for the never-set reference and for one whose
+// target has been recycled, and callers treat nil as "architecturally done".
+type instRef struct {
+	d   *dynInst
+	gen uint64
+}
+
+// ref captures a recycling-safe reference to d (nil-safe).
+func ref(d *dynInst) instRef {
+	if d == nil {
+		return instRef{}
+	}
+	return instRef{d: d, gen: d.gen}
+}
+
+// get returns the referenced instruction, or nil if the reference was never
+// set or its target has since been recycled.
+func (r instRef) get() *dynInst {
+	if r.d != nil && r.d.gen == r.gen {
+		return r.d
+	}
+	return nil
+}
+
+// wasSet reports whether the reference was ever set, regardless of whether
+// the target has been recycled since (used where the unpooled model tested
+// pointer non-nilness without dereferencing).
+func (r instRef) wasSet() bool { return r.d != nil }
 
 func (d *dynInst) isLoad() bool  { return d.kind == kindLoad }
 func (d *dynInst) isStore() bool { return d.kind == kindStore }

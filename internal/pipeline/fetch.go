@@ -28,7 +28,7 @@ func (co *Core) fetchEligible(ctx *Context) bool {
 	if ctx.fetchHalted || ctx.fetchBlockedUntil > co.cycle {
 		return false
 	}
-	if co.cfg.RMBCap-len(ctx.rmb) < co.cfg.ChunkSize {
+	if co.cfg.RMBCap-ctx.rmb.Len() < co.cfg.ChunkSize {
 		return false
 	}
 	if ctx.Role == RoleTrailing {
@@ -69,7 +69,7 @@ func (co *Core) chooseFetchThread() *Context {
 		if ctx.Role == RoleTrailing || !co.fetchEligible(ctx) {
 			continue
 		}
-		count := len(ctx.rmb) + ctx.iqN()
+		count := ctx.rmb.Len() + ctx.iqN()
 		if best == nil || count < bestCount {
 			best, bestCount = ctx, count
 		}
@@ -81,13 +81,13 @@ func (co *Core) chooseFetchThread() *Context {
 }
 
 func (co *Core) newDynInst(ctx *Context, out vm.Outcome) *dynInst {
-	return &dynInst{
-		out:        out,
-		tid:        ctx.TID,
-		kind:       kindOf(out.Instr.Op),
-		fetchCycle: co.cycle,
-		rmbReadyAt: co.cycle + IBOXLatency,
-	}
+	d := ctx.allocInst()
+	d.out = out
+	d.tid = ctx.TID
+	d.kind = ctx.kindAt(out.PC, out.Instr.Op)
+	d.fetchCycle = co.cycle
+	d.rmbReadyAt = co.cycle + IBOXLatency
+	return d
 }
 
 // maybeInterrupt delivers a pending timer interrupt at a fetch-chunk
@@ -140,7 +140,7 @@ func (co *Core) fetchLeading(ctx *Context) {
 		if ctx.fetchHalted || ctx.fetchBlockedUntil > co.cycle {
 			return
 		}
-		if co.cfg.RMBCap-len(ctx.rmb) < co.cfg.ChunkSize {
+		if co.cfg.RMBCap-ctx.rmb.Len() < co.cfg.ChunkSize {
 			return
 		}
 		co.maybeInterrupt(ctx)
@@ -191,7 +191,7 @@ func (co *Core) buildChunk(ctx *Context, chunkStart uint64, bubble uint64) {
 		d := co.newDynInst(ctx, out)
 		d.rmbReadyAt += bubble
 		d.fetchSlot = slot
-		ctx.rmb = append(ctx.rmb, d)
+		ctx.rmb.Push(d)
 		co.emit(ctx, d, StageFetch, co.cycle)
 
 		if out.Halted {
@@ -263,7 +263,7 @@ func (co *Core) predictBranch(ctx *Context, d *dynInst) {
 func (co *Core) fetchTrailing(ctx *Context) {
 	pair := ctx.Pair
 	for chunk := 0; chunk < co.cfg.FetchChunks; chunk++ {
-		if ctx.fetchHalted || co.cfg.RMBCap-len(ctx.rmb) < co.cfg.ChunkSize {
+		if ctx.fetchHalted || co.cfg.RMBCap-ctx.rmb.Len() < co.cfg.ChunkSize {
 			return
 		}
 		c, ok := pair.LPQ.PeekActive(co.cycle)
@@ -315,7 +315,7 @@ func (co *Core) fetchTrailing(ctx *Context) {
 			d.hasLeadInfo = true
 			d.leadUpper = c.UpperHalf[slot]
 			d.leadFU = c.FUs[slot]
-			ctx.rmb = append(ctx.rmb, d)
+			ctx.rmb.Push(d)
 			if out.Halted {
 				ctx.fetchHalted = true
 				break

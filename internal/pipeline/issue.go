@@ -13,35 +13,50 @@ func (co *Core) issueStage() {
 	start := int(co.cycle) % max(n, 1)
 	for i := 0; i < n; i++ {
 		ctx := co.ctxs[(start+i)%n]
-		for _, d := range ctx.rob {
+		iq := ctx.iq
+		// iq holds exactly the unissued IQ residents in age order, so this
+		// visits the same candidates, in the same order, as a full window
+		// scan — without re-skipping issued instructions every cycle. An
+		// issued candidate is removed in place, which slides the next
+		// candidate into index j.
+		for j := 0; j < iq.Len(); {
+			d := iq.At(j)
 			if issuedHalf[0] >= co.cfg.IssuePerHalf && issuedHalf[1] >= co.cfg.IssuePerHalf {
 				return
 			}
-			if !d.inIQ || d.issued || d.earliestIssue > co.cycle {
+			if d.earliestIssue > co.cycle {
+				j++
 				continue
 			}
 			h := halfIdx(d.upperHalf)
 			if issuedHalf[h] >= co.cfg.IssuePerHalf {
+				j++
 				continue
 			}
 			if !co.operandsReady(d) {
+				j++
 				continue
 			}
 			isFP := d.kind == kindFPAdd || d.kind == kindFPMul || d.kind == kindFPDiv
 			if isFP && fps >= co.cfg.MaxFPPerCycle {
+				j++
 				continue
 			}
 			if d.isMem() {
 				if mems >= co.cfg.MaxMemPerCycle {
+					j++
 					continue
 				}
 				if d.isLoad() && loads >= co.cfg.MaxLoadsPerCycle {
+					j++
 					continue
 				}
 				if d.isStore() && storesN >= co.cfg.MaxStoresPerCycle {
+					j++
 					continue
 				}
 				if !co.memReady(ctx, d) {
+					j++
 					continue
 				}
 			}
@@ -49,6 +64,7 @@ func (co *Core) issueStage() {
 			// Issue.
 			d.issued = true
 			d.inIQ = false
+			iq.RemoveAt(j)
 			co.iqUsed[h]--
 			ctx.iqOccupancy--
 			d.issueCycle = co.cycle
@@ -75,7 +91,10 @@ func (co *Core) issueStage() {
 // operand alone: the data value follows the address into the store queue
 // (§3.4), so a store need not wait for its data producer to issue.
 func (co *Core) operandsReady(d *dynInst) bool {
-	ready := func(p *dynInst) bool {
+	ready := func(r instRef) bool {
+		// A recycled producer was retired before recycling, so the stale
+		// reference resolving to nil gives the same answer as before.
+		p := r.get()
 		if p == nil || p.retired {
 			return true
 		}
@@ -114,16 +133,19 @@ func (co *Core) memReady(ctx *Context, d *dynInst) bool {
 		}
 		return true
 	}
-	if d.partial && d.depStore != nil && !d.depStore.drained {
+	// Stores are recycled only after they drain, so a stale depStore /
+	// predictedDep reference (get() == nil) means "drained" — the same
+	// outcome the pointer-based checks produced.
+	if s := d.depStore.get(); s != nil && d.partial && !s.drained {
 		// Partial overlap: the store must leave the store queue before the
 		// load can read merged bytes from the cache (§4.4.2).
 		return false
 	}
-	if d.covered && d.depStore != nil && !d.depStore.drained &&
-		!(d.depStore.issued && d.depStore.doneCycle <= co.cycle+RBOXLatency) {
+	if s := d.depStore.get(); s != nil && d.covered && !s.drained &&
+		!(s.issued && s.doneCycle <= co.cycle+RBOXLatency) {
 		return false // wait for store-queue forwarding data
 	}
-	if d.predictedDep != nil && !d.predictedDep.drained && !d.predictedDep.issued {
+	if p := d.predictedDep.get(); p != nil && !p.drained && !p.issued {
 		return false // store-sets predicted dependence
 	}
 	return true
@@ -142,7 +164,7 @@ func (co *Core) execute(ctx *Context, d *dynInst) {
 		// (§3.4), or when the data producer's result reaches the bypass
 		// network, whichever is later.
 		d.doneCycle = base + 3
-		if p := d.srcD; p != nil && !p.retired {
+		if p := d.srcD.get(); p != nil && !p.retired {
 			if dataAt := p.doneCycle + 2; dataAt > d.doneCycle {
 				d.doneCycle = dataAt
 			}
@@ -167,7 +189,7 @@ func (co *Core) execute(ctx *Context, d *dynInst) {
 			}
 		}
 	default:
-		d.doneCycle = base + co.cfg.classLat(d.kind)
+		d.doneCycle = base + ctx.latOf(&co.cfg, d)
 	}
 
 	if ctx.Role == RoleTrailing && d.hasLeadInfo {
@@ -204,7 +226,8 @@ func (co *Core) executeLoad(ctx *Context, d *dynInst, base uint64) uint64 {
 	}
 
 	done := base + 1 + MBOXLatency
-	if d.depStore != nil && d.covered && !d.depStore.drained {
+	dep := d.depStore.get() // nil once the store drained and was recycled
+	if dep != nil && d.covered && !dep.drained {
 		// Store-queue forwarding: same latency as a cache hit.
 	} else {
 		avail := co.hier.L1D.Access(co.dAddr(ctx, d.out.Addr), base+1)
@@ -213,13 +236,13 @@ func (co *Core) executeLoad(ctx *Context, d *dynInst, base uint64) uint64 {
 			done = avail + MBOXLatency
 		}
 	}
-	if d.depStore != nil && d.predictedDep == nil && !d.depStore.drained &&
-		d.depStore.issueCycle >= d.renameCycle {
+	if dep != nil && !d.predictedDep.wasSet() && !dep.drained &&
+		dep.issueCycle >= d.renameCycle {
 		// The dependence was not predicted: on the real machine the load
 		// would have issued early, violated, and replayed. Charge the
 		// replay and teach the store-sets predictor.
 		done += co.cfg.ReplayPenalty
-		co.storeSets.Violation(co.iAddr(ctx, d.out.PC), co.iAddr(ctx, d.depStore.out.PC))
+		co.storeSets.Violation(co.iAddr(ctx, d.out.PC), co.iAddr(ctx, dep.out.PC))
 	}
 	return done
 }

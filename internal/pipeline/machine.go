@@ -35,6 +35,10 @@ type Machine struct {
 	WatchdogCycles uint64
 
 	Cycles uint64
+
+	// ctxCache memoises allContexts: done() runs every cycle, and
+	// rebuilding the slice per call was a per-cycle allocation.
+	ctxCache []*Context
 }
 
 // DeadlockError reports a watchdog-detected lack of forward progress, with
@@ -48,13 +52,15 @@ func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("pipeline: no retirement progress by cycle %d (deadlock?)\n%s", e.Cycle, e.Dump)
 }
 
-// allContexts returns every context across cores.
+// allContexts returns every context across cores (cached after first use;
+// cores and contexts are fixed before the machine starts stepping).
 func (m *Machine) allContexts() []*Context {
-	var cs []*Context
-	for _, co := range m.Cores {
-		cs = append(cs, co.ctxs...)
+	if m.ctxCache == nil {
+		for _, co := range m.Cores {
+			m.ctxCache = append(m.ctxCache, co.ctxs...)
+		}
 	}
-	return cs
+	return m.ctxCache
 }
 
 // done reports whether every budgeted context has finished: reached its
@@ -126,7 +132,7 @@ func (m *Machine) dump() string {
 			if d := c.robHead(); d != nil {
 				fmt.Fprintf(&b, "  t%d head: %v seq=%d issued=%v done=%d sq=%d/%d retSt=%d\n",
 					c.TID, d.out.Instr, d.out.Seq, d.issued, d.doneCycle,
-					c.sqUsed, c.sqCap, len(c.retiredStores))
+					c.sqUsed, c.sqCap, c.retiredStores.Len())
 			}
 		}
 	}
@@ -141,11 +147,14 @@ func (m *Machine) dump() string {
 // finish time when it had a budget (so tail effects of other threads don't
 // distort it).
 func (m *Machine) stats() *stats.RunStats {
+	ctxs := m.allContexts()
 	rs := &stats.RunStats{
-		Cycles: m.Cycles,
-		Extra:  make(map[string]float64),
+		Cycles:     m.Cycles,
+		Extra:      make(map[string]float64, 8),
+		Threads:    make([]*stats.ThreadStats, 0, len(ctxs)),
+		LogicalIPC: make([]float64, 0, len(m.Pairs)+len(ctxs)),
 	}
-	for _, c := range m.allContexts() {
+	for _, c := range ctxs {
 		rs.Threads = append(rs.Threads, c.Stats)
 	}
 	// Logical IPC: one entry per pair (leading copy), plus one per single

@@ -1,0 +1,157 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// mispredictStorm builds a loop whose inner branch follows an LCG's
+// (unpredictable) bit 17 and whose body stores to and reloads from an
+// LCG-dependent address. Every mispredict stalls fetch on a live window;
+// the store/load pair exercises the memory-dependence machinery (depStore,
+// store-sets, forwarding) whose references the recycling pool must keep
+// safe across reuse.
+func mispredictStorm(iters int64) *isa.Program {
+	b := isa.NewBuilder("storm")
+	b.Ldi(isa.R1, iters)
+	b.Ldi(isa.R2, 12345)
+	b.Ldi(isa.R7, 0x2000)
+	b.Label("top")
+	b.Muli(isa.R2, isa.R2, 1103515245)
+	b.Addi(isa.R2, isa.R2, 12345)
+	b.Andi(isa.R2, isa.R2, 0x3fffffff)
+	b.Srli(isa.R3, isa.R2, 17)
+	b.Andi(isa.R3, isa.R3, 1)
+	b.Andi(isa.R5, isa.R2, 0xf8)
+	b.Add(isa.R6, isa.R7, isa.R5)
+	b.Stq(isa.R2, isa.R6, 0)
+	b.Beq(isa.R3, "skip")
+	b.Ldq(isa.R4, isa.R6, 0)
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Label("skip")
+	b.Addi(isa.R1, isa.R1, -1)
+	b.Bne(isa.R1, "top")
+	b.Halt()
+	return b.MustFinish()
+}
+
+// stormResult captures everything the pooled and unpooled machines must
+// agree on.
+type stormResult struct {
+	cycles      uint64
+	committed   uint64
+	mispredicts uint64
+	loads       uint64
+	stores      uint64
+	dcMisses    uint64
+	finalMem    [32]uint64
+}
+
+func runStormSingle(t *testing.T, disablePool bool) stormResult {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DisableInstPool = disablePool
+	prog := mispredictStorm(3000)
+	core := NewCore(0, cfg, nil)
+	memImg := vm.NewMemory()
+	vm.Load(prog, memImg)
+	ctx := NewContext(RoleSingle, 0, vm.NewThread(0, prog, memImg), 1_000_000)
+	core.AddContext(ctx)
+	core.FinalizeQueues()
+	m := &Machine{Cores: []*Core{core}}
+	if _, err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return stormState(m, ctx)
+}
+
+func runStormSRT(t *testing.T, disablePool bool) stormResult {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DisableInstPool = disablePool
+	prog := mispredictStorm(3000)
+	m, lead, _, _ := srtMachine(t, prog, 1_000_000, cfg)
+	if _, err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return stormState(m, lead)
+}
+
+func stormState(m *Machine, ctx *Context) stormResult {
+	r := stormResult{
+		cycles:      m.Cycles,
+		committed:   ctx.Committed(),
+		mispredicts: ctx.Stats.BranchMispredicts.Value(),
+		loads:       ctx.Stats.Loads.Value(),
+		stores:      ctx.Stats.Stores.Value(),
+		dcMisses:    ctx.Stats.DCacheMisses.Value(),
+	}
+	for i := range r.finalMem {
+		r.finalMem[i] = ctx.Arch.Mem.Read64(0x2000 + uint64(i)*8)
+	}
+	return r
+}
+
+// TestInstPoolIsCycleIdentical is the pool-correctness oracle: recycling
+// dynamic instructions must be pure mechanics — the pooled and unpooled
+// machines produce bit-identical timing and architectural state, even under
+// a mispredict storm with memory dependences (where stale references to
+// recycled instructions would first show up as timing drift).
+func TestInstPoolIsCycleIdentical(t *testing.T) {
+	t.Run("single", func(t *testing.T) {
+		pooled, unpooled := runStormSingle(t, false), runStormSingle(t, true)
+		if pooled != unpooled {
+			t.Errorf("pooled run diverged from unpooled:\n pooled:   %+v\n unpooled: %+v", pooled, unpooled)
+		}
+		if pooled.mispredicts < 300 {
+			t.Errorf("storm mispredicted only %d times; not a storm", pooled.mispredicts)
+		}
+	})
+	t.Run("srt", func(t *testing.T) {
+		pooled, unpooled := runStormSRT(t, false), runStormSRT(t, true)
+		if pooled != unpooled {
+			t.Errorf("pooled SRT run diverged from unpooled:\n pooled:   %+v\n unpooled: %+v", pooled, unpooled)
+		}
+	})
+}
+
+// TestRetireMoreStoresThanSQCapacity retires far more stores than the
+// store queue holds (300 vs the 64-entry total / 32-entry SRT share),
+// forcing continuous in-flight-store list turnover — the regression guard
+// for the store-release path (formerly an O(n) slice shift-delete, now a
+// ring removal).
+func TestRetireMoreStoresThanSQCapacity(t *testing.T) {
+	prog := tinyLoop(300)
+	m, ctx := singleMachine(t, prog, 1_000_000)
+	if _, err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Arch.Halted {
+		t.Fatal("single: thread did not halt")
+	}
+	for i := int64(300); i >= 1; i-- {
+		addr := uint64(0x1000 + 8*(300-i))
+		if got := ctx.Arch.Mem.Read64(addr); got != uint64(i*i) {
+			t.Fatalf("single: mem[%#x] = %d, want %d", addr, got, i*i)
+		}
+	}
+	if ctx.Arch.Mem.PendingBytes() != 0 {
+		t.Errorf("single: overlay not drained: %d bytes", ctx.Arch.Mem.PendingBytes())
+	}
+
+	ms, lead, trail, pair := srtMachine(t, prog, 1_000_000, DefaultConfig())
+	if _, err := ms.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := pair.Cmp.Comparisons.Value(); got != 300 {
+		t.Errorf("srt: %d store comparisons, want 300", got)
+	}
+	if got := pair.Cmp.Mismatches.Value(); got != 0 {
+		t.Errorf("srt: %d mismatches in a fault-free run", got)
+	}
+	if lead.Committed() != trail.Committed() {
+		t.Errorf("srt: lead committed %d, trail %d", lead.Committed(), trail.Committed())
+	}
+}

@@ -33,7 +33,8 @@ func (co *Core) retireStage() {
 // in the store queue (memory barriers may not retire until all older stores
 // have drained, §4.4.2).
 func (c *Context) hasUndrainedOlderStores(seq uint64) bool {
-	for _, s := range c.inFlightStores {
+	for i := 0; i < c.inFlightStores.Len(); i++ {
+		s := c.inFlightStores.At(i)
 		if !s.drained && s.out.Seq < seq {
 			return true
 		}
@@ -71,7 +72,7 @@ func (co *Core) retireOne(ctx *Context) bool {
 	}
 
 	// Commit.
-	ctx.rob = ctx.rob[1:]
+	ctx.rob.Pop()
 	d.retired = true
 	d.retireCycle = co.cycle
 	co.emit(ctx, d, StageRetire, co.cycle)
@@ -116,7 +117,7 @@ func (co *Core) retireOne(ctx *Context) bool {
 		}
 		if d.isStore() {
 			if co.cfg.NoStoreComparison {
-				ctx.retiredStores = append(ctx.retiredStores, d)
+				ctx.retiredStores.Push(d)
 			} else {
 				pair.Cmp.AddLeading(rmt.StoreRecord{
 					Tag:     d.storeTag,
@@ -125,7 +126,7 @@ func (co *Core) retireOne(ctx *Context) bool {
 					Value:   d.out.Value,
 					ReadyAt: co.cycle,
 				})
-				ctx.retiredStores = append(ctx.retiredStores, d)
+				ctx.retiredStores.Push(d)
 			}
 		}
 		if d.kind == kindHalt {
@@ -138,15 +139,20 @@ func (co *Core) retireOne(ctx *Context) bool {
 			// LVQ entry was consumed at issue; no load queue entry.
 		}
 		if d.isStore() {
-			ctx.trailRetiredStores = append(ctx.trailRetiredStores, d)
+			ctx.trailRetiredStores.Push(d)
 		}
 	case RoleSingle:
 		if d.isLoad() && !d.out.Instr.IsUncached() {
 			ctx.lqUsed--
 		}
 		if d.isStore() {
-			ctx.retiredStores = append(ctx.retiredStores, d)
+			ctx.retiredStores.Push(d)
 		}
+	}
+	// Non-stores are done with the pipeline here; recycle them. Stores stay
+	// live until their store-queue entry drains (freed by the drain loops).
+	if !d.isStore() {
+		ctx.freeInst(d)
 	}
 	return true
 }
@@ -201,13 +207,9 @@ func (co *Core) releaseStore(ctx *Context, d *dynInst) {
 		ctx.IOWrite(d.out.Addr, d.out.Value)
 	}
 	co.storeSets.StoreRetired(co.iAddr(ctx, d.out.PC), d.out.Seq+1)
-	// Compact the in-flight store list.
-	for i, s := range ctx.inFlightStores {
-		if s == d {
-			ctx.inFlightStores = append(ctx.inFlightStores[:i], ctx.inFlightStores[i+1:]...)
-			break
-		}
-	}
+	// Stores drain in program order, so this is almost always the ring's
+	// O(1) front removal (the old slice shift-delete was O(n) per release).
+	ctx.inFlightStores.Remove(d)
 }
 
 // releasePairStore commits a redundant store to shared memory and clears
@@ -228,8 +230,8 @@ func (co *Core) releasePairStore(trail *Context, d *dynInst) {
 // buffer, oldest first, honouring the lockstep checker penalty when
 // configured.
 func (co *Core) drainSingle(ctx *Context) {
-	for n := 0; n < co.cfg.StoreDrainPerCycle && len(ctx.retiredStores) > 0; n++ {
-		d := ctx.retiredStores[0]
+	for n := 0; n < co.cfg.StoreDrainPerCycle && !ctx.retiredStores.Empty(); n++ {
+		d := ctx.retiredStores.Front()
 		if d.retireCycle+co.cfg.CheckerStorePenalty > co.cycle {
 			return
 		}
@@ -241,7 +243,8 @@ func (co *Core) drainSingle(ctx *Context) {
 			co.mergeBuf.Accept(addr, co.cycle)
 		}
 		co.releaseStore(ctx, d)
-		ctx.retiredStores = ctx.retiredStores[1:]
+		ctx.retiredStores.Pop()
+		ctx.freeInst(d)
 	}
 }
 
@@ -251,8 +254,8 @@ func (co *Core) drainSingle(ctx *Context) {
 // as detected faults.
 func (co *Core) drainLeading(ctx *Context) {
 	pair := ctx.Pair
-	for n := 0; n < co.cfg.StoreDrainPerCycle && len(ctx.retiredStores) > 0; n++ {
-		d := ctx.retiredStores[0]
+	for n := 0; n < co.cfg.StoreDrainPerCycle && !ctx.retiredStores.Empty(); n++ {
+		d := ctx.retiredStores.Front()
 		if !d.verified {
 			when, mismatch, done := pair.Cmp.Verify(d.storeTag, co.cycle)
 			if !done {
@@ -278,7 +281,8 @@ func (co *Core) drainLeading(ctx *Context) {
 			co.mergeBuf.Accept(addr, co.cycle)
 		}
 		co.releaseStore(ctx, d)
-		ctx.retiredStores = ctx.retiredStores[1:]
+		ctx.retiredStores.Pop()
+		ctx.freeInst(d)
 	}
 }
 
@@ -289,12 +293,13 @@ func (co *Core) drainLeading(ctx *Context) {
 // consistent for later oracle reads.
 func (co *Core) drainTrailing(ctx *Context) {
 	pair := ctx.Pair
-	for len(ctx.trailRetiredStores) > 0 {
-		d := ctx.trailRetiredStores[0]
+	for !ctx.trailRetiredStores.Empty() {
+		d := ctx.trailRetiredStores.Front()
 		if !co.cfg.NoStoreComparison && pair.Cmp.HasTrailing(d.storeTag) {
 			return // not yet compared
 		}
 		co.releaseStore(ctx, d)
-		ctx.trailRetiredStores = ctx.trailRetiredStores[1:]
+		ctx.trailRetiredStores.Pop()
+		ctx.freeInst(d)
 	}
 }

@@ -1,0 +1,142 @@
+package ringq
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	r := New[int](5)
+	for i := 1; i <= 5; i++ {
+		r.Push(i)
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full")
+	}
+	for i := 1; i <= 5; i++ {
+		if got := r.Pop(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("ring should be empty")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New[int](3)
+	r.Push(1)
+	r.Push(2)
+	r.Pop()
+	r.Push(3)
+	r.Push(4) // wraps: internal size is 4, capacity 3
+	want := []int{2, 3, 4}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if r.Front() != 2 {
+		t.Fatalf("front = %d, want 2", r.Front())
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	r := New[int](5)
+	if r.Cap() != 5 {
+		t.Fatalf("cap = %d, want 5", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push beyond capacity did not panic")
+		}
+	}()
+	r.Push(99) // must panic at the logical capacity, not the pow2 size
+}
+
+func TestRemove(t *testing.T) {
+	r := New[int](8)
+	// Cycle the head off zero so removal exercises wrapped indices.
+	r.Push(-1)
+	r.Push(-2)
+	r.Pop()
+	r.Pop()
+	for i := 1; i <= 6; i++ {
+		r.Push(i * 10)
+	}
+	if r.Remove(999) {
+		t.Fatal("removed an element that is not present")
+	}
+	if !r.Remove(10) { // front: O(1) path
+		t.Fatal("front remove failed")
+	}
+	if !r.Remove(40) { // middle: shift path
+		t.Fatal("middle remove failed")
+	}
+	if !r.Remove(60) { // back
+		t.Fatal("back remove failed")
+	}
+	want := []int{20, 30, 50}
+	if r.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", r.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Fatalf("after removes At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	// Every (occupancy, index) combination on a wrapped ring, checked
+	// against a reference slice: both shift directions, both boundaries.
+	for n := 1; n <= 6; n++ {
+		for i := 0; i < n; i++ {
+			r := New[int](6)
+			// Cycle the head to force wrapped indices.
+			for k := 0; k < 5; k++ {
+				r.Push(-1)
+				r.Pop()
+			}
+			var want []int
+			for k := 0; k < n; k++ {
+				r.Push(k * 10)
+				want = append(want, k*10)
+			}
+			r.RemoveAt(i)
+			want = append(want[:i], want[i+1:]...)
+			if r.Len() != len(want) {
+				t.Fatalf("n=%d i=%d: len = %d, want %d", n, i, r.Len(), len(want))
+			}
+			for k, w := range want {
+				if got := r.At(k); got != w {
+					t.Fatalf("n=%d i=%d: At(%d) = %d, want %d", n, i, k, got, w)
+				}
+			}
+			// The vacated slot must be usable again without overflow.
+			r.Push(999)
+			if got := r.At(r.Len() - 1); got != 999 {
+				t.Fatalf("n=%d i=%d: push after remove = %d, want 999", n, i, got)
+			}
+		}
+	}
+}
+
+func TestPushPopSteadyStateDoesNotAllocate(t *testing.T) {
+	r := New[*int](16)
+	vals := make([]*int, 16)
+	for i := range vals {
+		vals[i] = new(int)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, v := range vals {
+			r.Push(v)
+		}
+		for range vals {
+			r.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f times per run", allocs)
+	}
+}

@@ -40,10 +40,18 @@ type LVQEntry struct {
 
 // LVQ is the load value queue. Trailing-thread loads look entries up
 // associatively by correlation tag, so the trailing thread may issue its
-// loads out of order (paper §4.1).
+// loads out of order (paper §4.1). The hardware is a small CAM, and the
+// model matches: a fixed array of capacity entries searched linearly
+// (Tag 0 marks a free slot — correlation tags start at 1), which stays
+// allocation-free and beats a map at these sizes (Table 1: 64 entries).
+//
+// Note the live tag window genuinely requires an associative search: tags
+// are pushed sequentially but consumed out of order, so the span of live
+// tags can exceed the capacity and a tag-modulo-capacity direct index
+// would collide.
 type LVQ struct {
-	capacity   int
-	entries    map[uint64]LVQEntry
+	entries    []LVQEntry // fixed length = capacity; Tag==0 slots are free
+	n          int
 	lastPushed uint64
 
 	Pushes     stats.Counter
@@ -56,15 +64,25 @@ type LVQ struct {
 
 // NewLVQ returns a load value queue with the given capacity.
 func NewLVQ(capacity int) *LVQ {
-	return &LVQ{capacity: capacity, entries: make(map[uint64]LVQEntry, capacity)}
+	return &LVQ{entries: make([]LVQEntry, capacity)}
 }
 
 // Full reports whether the queue cannot accept another entry; the leading
 // thread's load must then stall at retirement.
-func (q *LVQ) Full() bool { return len(q.entries) >= q.capacity }
+func (q *LVQ) Full() bool { return q.n >= len(q.entries) }
 
 // Len returns the current occupancy.
-func (q *LVQ) Len() int { return len(q.entries) }
+func (q *LVQ) Len() int { return q.n }
+
+// find returns the slot index holding tag, or -1.
+func (q *LVQ) find(tag uint64) int {
+	for i := range q.entries {
+		if q.entries[i].Tag == tag {
+			return i
+		}
+	}
+	return -1
+}
 
 // Push records a retired leading-thread load. The caller must have checked
 // Full.
@@ -80,14 +98,21 @@ func (q *LVQ) Push(e LVQEntry) {
 		panic(fmt.Sprintf("rmt: first LVQ push tag %d", e.Tag))
 	}
 	q.lastPushed = e.Tag
-	q.entries[e.Tag] = e
+	i := q.find(0)
+	if i < 0 {
+		panic("rmt: LVQ has no free slot despite not being full")
+	}
+	q.entries[i] = e
+	q.n++
 }
 
 // Peek reports whether an entry with the given tag exists and, if so, the
 // cycle it becomes visible (for issue-retry scheduling).
 func (q *LVQ) Peek(tag uint64) (readyAt uint64, ok bool) {
-	e, ok := q.entries[tag]
-	return e.ReadyAt, ok
+	if i := q.find(tag); i >= 0 {
+		return q.entries[i].ReadyAt, true
+	}
+	return 0, false
 }
 
 // Lookup services a trailing-thread load at cycle now. It returns the entry
@@ -96,12 +121,14 @@ func (q *LVQ) Peek(tag uint64) (readyAt uint64, ok bool) {
 // not exist yet (insufficient slack), it returns false and the load must
 // retry.
 func (q *LVQ) Lookup(tag uint64, now uint64) (LVQEntry, bool) {
-	e, ok := q.entries[tag]
-	if !ok || e.ReadyAt > now {
+	i := q.find(tag)
+	if i < 0 || q.entries[i].ReadyAt > now {
 		q.Waits.Inc()
 		return LVQEntry{}, false
 	}
-	delete(q.entries, tag)
+	e := q.entries[i]
+	q.entries[i] = LVQEntry{}
+	q.n--
 	return e, true
 }
 
@@ -349,10 +376,16 @@ func (m *Mismatch) Error() string {
 // leading-thread stores until the corresponding trailing-thread store's
 // address and data arrive, compares them, and reports when each store is
 // verified and may drain out of the sphere of replication.
+//
+// Both sides are bounded by the store queue (every record corresponds to an
+// occupied SQ entry), so they live in small slot arrays searched linearly —
+// Tag 0 marks a free slot (store tags start at 1) — rather than maps. The
+// arrays grow to the high-water mark once and are then reused forever.
 type StoreComparator struct {
 	compareLatency uint64
-	lead           map[uint64]StoreRecord
-	trail          map[uint64]StoreRecord
+	lead           []StoreRecord
+	trail          []StoreRecord
+	nLead, nTrail  int
 
 	Comparisons stats.Counter
 	Mismatches  stats.Counter
@@ -361,33 +394,52 @@ type StoreComparator struct {
 // NewStoreComparator returns a comparator whose comparisons take
 // compareLatency cycles.
 func NewStoreComparator(compareLatency uint64) *StoreComparator {
-	return &StoreComparator{
-		compareLatency: compareLatency,
-		lead:           make(map[uint64]StoreRecord),
-		trail:          make(map[uint64]StoreRecord),
+	return &StoreComparator{compareLatency: compareLatency}
+}
+
+// putRecord stores r in the first free slot, extending the array only when
+// every slot is occupied (first excursion to a new high-water mark).
+func putRecord(slots []StoreRecord, r StoreRecord) []StoreRecord {
+	for i := range slots {
+		if slots[i].Tag == 0 {
+			slots[i] = r
+			return slots
+		}
 	}
+	return append(slots, r)
+}
+
+// findRecord returns the slot index holding tag, or -1.
+func findRecord(slots []StoreRecord, tag uint64) int {
+	for i := range slots {
+		if slots[i].Tag == tag {
+			return i
+		}
+	}
+	return -1
 }
 
 // PendingLeading returns the number of unverified leading stores.
-func (c *StoreComparator) PendingLeading() int { return len(c.lead) }
+func (c *StoreComparator) PendingLeading() int { return c.nLead }
 
 // AddLeading registers a leading-thread store (when its address and data are
 // in the store queue).
 func (c *StoreComparator) AddLeading(r StoreRecord) {
-	c.lead[r.Tag] = r
+	c.lead = putRecord(c.lead, r)
+	c.nLead++
 }
 
 // AddTrailing registers the arrival of the trailing-thread copy of a store.
 func (c *StoreComparator) AddTrailing(r StoreRecord) {
-	c.trail[r.Tag] = r
+	c.trail = putRecord(c.trail, r)
+	c.nTrail++
 }
 
 // HasTrailing reports whether the trailing copy with the given tag is still
 // held (i.e., not yet consumed by Verify); the trailing store-queue entry
 // cannot be freed while it is.
 func (c *StoreComparator) HasTrailing(tag uint64) bool {
-	_, ok := c.trail[tag]
-	return ok
+	return findRecord(c.trail, tag) >= 0
 }
 
 // Verify attempts to verify the leading store with the given tag at cycle
@@ -397,14 +449,19 @@ func (c *StoreComparator) HasTrailing(tag uint64) bool {
 //	0, *Mismatch, true      — both copies present but differ (fault!)
 //	0, nil, false           — trailing copy not yet arrived
 func (c *StoreComparator) Verify(tag uint64, now uint64) (uint64, *Mismatch, bool) {
-	l, lok := c.lead[tag]
-	t, tok := c.trail[tag]
-	if !lok {
+	li := findRecord(c.lead, tag)
+	if li < 0 {
 		panic(fmt.Sprintf("rmt: Verify of unknown leading store tag %d", tag))
 	}
-	if !tok || t.ReadyAt > now {
+	ti := findRecord(c.trail, tag)
+	if ti < 0 || c.trail[ti].ReadyAt > now {
 		return 0, nil, false
 	}
+	l, t := c.lead[li], c.trail[ti]
+	c.lead[li] = StoreRecord{}
+	c.trail[ti] = StoreRecord{}
+	c.nLead--
+	c.nTrail--
 	c.Comparisons.Inc()
 	when := now
 	if l.ReadyAt > when {
@@ -418,19 +475,19 @@ func (c *StoreComparator) Verify(tag uint64, now uint64) (uint64, *Mismatch, boo
 			LeadAddr: l.Addr, TrailAddr: t.Addr,
 			LeadValue: l.Value, TrailValue: t.Value,
 		}
-		delete(c.lead, tag)
-		delete(c.trail, tag)
 		return 0, m, true
 	}
-	delete(c.lead, tag)
-	delete(c.trail, tag)
 	return when, nil, true
 }
 
 // DebugTags returns the min and max tags currently in the queue (0,0 when
 // empty); a diagnostic helper.
 func (q *LVQ) DebugTags() (lo, hi uint64) {
-	for t := range q.entries {
+	for i := range q.entries {
+		t := q.entries[i].Tag
+		if t == 0 {
+			continue
+		}
 		if lo == 0 || t < lo {
 			lo = t
 		}

@@ -234,6 +234,18 @@ type Table struct {
 	Rows    [][]string
 }
 
+// Grow preallocates storage for n additional rows. Experiment sweeps
+// assemble tables of known size, so growing once up front keeps result
+// assembly free of append reallocation.
+func (t *Table) Grow(n int) {
+	if cap(t.Rows)-len(t.Rows) >= n {
+		return
+	}
+	rows := make([][]string, len(t.Rows), len(t.Rows)+n)
+	copy(rows, t.Rows)
+	t.Rows = rows
+}
+
 // AddRow appends a row; cells beyond len(Columns) are dropped.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) > len(t.Columns) {
