@@ -41,6 +41,34 @@ cover:
 FUZZTIME := 10s
 fuzz:
 	go test ./internal/isa/ -run '^$$' -fuzz FuzzLoadImage -fuzztime $(FUZZTIME)
+	go test ./internal/server/ -run '^$$' -fuzz FuzzCanonicalKey -fuzztime $(FUZZTIME)
+
+# End-to-end daemon smoke: start rmtd, wait for /healthz, POST the same
+# /run twice and assert the second is served from the cache (X-Cache: hit),
+# then SIGTERM and require a clean drain. Exercises the whole serving path
+# (listener, admission, single-flight, cache, shutdown) outside httptest.
+SMOKE_ADDR := 127.0.0.1:8471
+serve-smoke:
+	go build -o /tmp/rmtd ./cmd/rmtd
+	@set -e; \
+	/tmp/rmtd -addr $(SMOKE_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	curl -fsS http://$(SMOKE_ADDR)/healthz; \
+	body='{"mode":"srt","programs":["compress"],"budget":2000,"warmup":800}'; \
+	first=$$(curl -fsS -o /tmp/rmtd.run1.json -D - -d "$$body" http://$(SMOKE_ADDR)/run | tr -d '\r' | awk 'tolower($$1)=="x-cache:"{print $$2}'); \
+	second=$$(curl -fsS -o /tmp/rmtd.run2.json -D - -d "$$body" http://$(SMOKE_ADDR)/run | tr -d '\r' | awk 'tolower($$1)=="x-cache:"{print $$2}'); \
+	echo "first=$$first second=$$second"; \
+	test "$$first" = miss; \
+	test "$$second" = hit; \
+	cmp /tmp/rmtd.run1.json /tmp/rmtd.run2.json; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	trap - EXIT; \
+	echo "serve-smoke: ok"
 
 # Performance harness: run the benchmark battery with allocation accounting
 # and fold the results into BENCH_4.json as the "current" role, next to the
@@ -55,4 +83,4 @@ bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x -short .
 	go test ./internal/sim/ -run TestSteadyStateAllocs -count=1
 
-.PHONY: verify race lint smoke determinism cover fuzz bench-json bench-smoke
+.PHONY: verify race lint smoke determinism cover fuzz bench-json bench-smoke serve-smoke

@@ -1,0 +1,69 @@
+// Command rmtd is the result-serving daemon: a long-lived HTTP/JSON
+// front end over the rmt facade. Identical experiments are canonicalised
+// into a content-addressed key and computed once — repeats are served
+// from an LRU cache, concurrent duplicates collapse onto one computation
+// — and a bounded worker pool with queue-depth admission control sheds
+// overload as 429 + Retry-After. SIGINT/SIGTERM drain in-flight requests
+// before exit.
+//
+// Usage:
+//
+//	rmtd                             # serve on 127.0.0.1:8471
+//	rmtd -addr :9000 -workers 8      # more workers, all interfaces
+//	curl -s localhost:8471/healthz
+//	curl -s -X POST localhost:8471/run -d '{"mode":"srt","programs":["gcc"]}'
+//	curl -s localhost:8471/metricsz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cliflags"
+	"repro/internal/server" //rmtlint:allow layering — rmtd is the daemon entry point; the serving layer sits above the rmt facade and is not re-exported through it
+)
+
+func main() {
+	sv := cliflags.RegisterServe(flag.CommandLine)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        sv.Workers,
+		QueueDepth:     sv.Queue,
+		CacheEntries:   sv.CacheEntries,
+		SimParallelism: sv.SimParallel,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.ListenAndServe(sv.Addr, func(addr net.Addr) {
+			fmt.Printf("rmtd: listening on %s\n", addr)
+		})
+	}()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. port in use).
+		fmt.Fprintf(os.Stderr, "rmtd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "rmtd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), sv.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rmtd: drain: %v\n", err)
+		os.Exit(1)
+	}
+	<-errc // Serve returns http.ErrServerClosed after a clean drain
+	fmt.Fprintln(os.Stderr, "rmtd: stopped")
+}

@@ -17,6 +17,8 @@ import (
 //	layer 5  fault, cliflags
 //	layer 6  exp
 //	layer 7  rmt facade (and the repro doc package)
+//	layer 8  server (rmtd's serving layer: sits above the facade and
+//	         calls rmt.Run/rmt.Sweep so served results are the facade's)
 //
 // A package may import only packages on a strictly lower layer, so cycles
 // and layer-skipping back-edges are impossible by construction. cmd/ and
@@ -57,6 +59,7 @@ var layerOf = map[string]int{
 	ModPath + "/internal/cliflags": 5,
 	ModPath + "/internal/exp":      6,
 	ModPath + "/rmt":               7,
+	ModPath + "/internal/server":   8,
 }
 
 // binaryAllowed is the import set open to cmd/ and examples/ packages.

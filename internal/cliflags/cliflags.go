@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -60,6 +61,35 @@ func (s *Sim) Parallelism() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return s.Parallel
+}
+
+// Serve is the flag group of the rmtd daemon.
+type Serve struct {
+	// Addr is the listen address.
+	Addr string
+	// Workers bounds concurrently executing simulation requests; Queue
+	// bounds requests waiting for a worker (beyond it: 429).
+	Workers int
+	Queue   int
+	// CacheEntries bounds the content-addressed result cache.
+	CacheEntries int
+	// SimParallel fans one sweep's or campaign's internal jobs across
+	// workers (results never depend on it).
+	SimParallel int
+	// DrainTimeout bounds the graceful drain on SIGINT/SIGTERM.
+	DrainTimeout time.Duration
+}
+
+// RegisterServe installs the rmtd serving flag group on fs.
+func RegisterServe(fs *flag.FlagSet) *Serve {
+	s := &Serve{}
+	fs.StringVar(&s.Addr, "addr", "127.0.0.1:8471", "listen address (host:port; :0 picks a free port)")
+	fs.IntVar(&s.Workers, "workers", 2, "concurrently executing simulation requests")
+	fs.IntVar(&s.Queue, "queue", 8, "requests allowed to wait for a worker before 429")
+	fs.IntVar(&s.CacheEntries, "cache-entries", 512, "content-addressed result cache size (entries)")
+	fs.IntVar(&s.SimParallel, "sim-parallel", 1, "goroutines per sweep/campaign request (results are identical at any value)")
+	fs.DurationVar(&s.DrainTimeout, "drain-timeout", 30*time.Second, "graceful-drain bound on SIGINT/SIGTERM")
+	return s
 }
 
 // Prof is the shared profiling flag group. The profiles observe the tool,

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"reflect"
 	"runtime"
+	"time"
 	"testing"
 
 	"repro/internal/sim"
@@ -83,5 +84,30 @@ func TestSplitProgs(t *testing.T) {
 		if got := SplitProgs(c.in); !reflect.DeepEqual(got, c.want) {
 			t.Errorf("SplitProgs(%q) = %v, want %v", c.in, got, c.want)
 		}
+	}
+}
+
+func TestRegisterServe(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s := RegisterServe(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	want := Serve{Addr: "127.0.0.1:8471", Workers: 2, Queue: 8,
+		CacheEntries: 512, SimParallel: 1, DrainTimeout: 30 * time.Second}
+	if *s != want {
+		t.Fatalf("defaults = %+v, want %+v", *s, want)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	s = RegisterServe(fs)
+	if err := fs.Parse([]string{"-addr", ":0", "-workers", "4", "-queue", "-1",
+		"-cache-entries", "16", "-sim-parallel", "8", "-drain-timeout", "5s"}); err != nil {
+		t.Fatal(err)
+	}
+	want = Serve{Addr: ":0", Workers: 4, Queue: -1,
+		CacheEntries: 16, SimParallel: 8, DrainTimeout: 5 * time.Second}
+	if *s != want {
+		t.Fatalf("parsed = %+v, want %+v", *s, want)
 	}
 }

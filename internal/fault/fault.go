@@ -189,7 +189,9 @@ func Plan(spec sim.Spec, n int, seed uint64) []Transient {
 	faults := make([]Transient, n)
 	for i := range faults {
 		faults[i] = Transient{
-			Logical: int(r.next()) % max(len(spec.Programs), 1),
+			// Reduce in uint64 space: casting the raw draw to int first can
+			// go negative, and a negative % yields an unarmable pair index.
+			Logical: int(r.next() % uint64(max(len(spec.Programs), 1))),
 			Target:  Copy(r.next() % 2),
 			AtSeq:   spec.Warmup/2 + r.next()%(spec.Warmup/2+spec.Budget/2+1),
 			Point:   points[r.next()%uint64(len(points))],

@@ -213,3 +213,73 @@ func TestPlanDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanShardingInvariance: the fault plan is a pure function of
+// (spec, n, seed), every campaign trial executes exactly its plan entry,
+// and the whole summary — per-trial outcomes and Coverage — is invariant
+// to CampaignParallel's worker count. This is the sharding contract
+// rmtd's /campaign endpoint leans on when it serves cached summaries
+// computed at an arbitrary parallelism.
+func TestPlanShardingInvariance(t *testing.T) {
+	small := func(mode sim.Mode, progs ...string) sim.Spec {
+		s := faultSpec(mode, progs...)
+		s.Budget, s.Warmup = 3000, 1000
+		return s
+	}
+	cases := []struct {
+		name string
+		spec sim.Spec
+		n    int
+		seed uint64
+	}{
+		{"srt one program", small(sim.ModeSRT, "compress"), 6, 0xA11CE},
+		{"srt two programs", small(sim.ModeSRT, "gcc", "swim"), 6, 42},
+		{"crt two programs", small(sim.ModeCRT, "gcc", "swim"), 6, 0xBEEF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := Plan(tc.spec, tc.n, tc.seed)
+			replan := Plan(tc.spec, tc.n, tc.seed)
+			for i := range plan {
+				if plan[i] != replan[i] {
+					t.Fatalf("plan entry %d not reproducible: %v vs %v", i, plan[i], replan[i])
+				}
+			}
+			var ref *CampaignSummary
+			for _, workers := range []int{1, 4, 8} {
+				// StopOnDetection is forced inside CampaignParallel; pass a
+				// fresh copy so spec mutation cannot leak between runs.
+				spec := tc.spec
+				sum, err := CampaignParallel(spec, tc.n, tc.seed, CampaignOptions{Parallelism: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				for i, res := range sum.Results {
+					if res.Fault != plan[i] {
+						t.Fatalf("workers=%d trial %d ran fault %v, plan says %v", workers, i, res.Fault, plan[i])
+					}
+				}
+				if ref == nil {
+					ref = sum
+					continue
+				}
+				if sum.Runs != ref.Runs || sum.Detected != ref.Detected ||
+					sum.Masked != ref.Masked || sum.NotFired != ref.NotFired ||
+					sum.MeanDetectionCycles != ref.MeanDetectionCycles ||
+					sum.TotalCycles != ref.TotalCycles {
+					t.Fatalf("workers=%d summary differs from workers=1:\n%+v\nvs\n%+v", workers, sum, ref)
+				}
+				if sum.Coverage() != ref.Coverage() {
+					t.Fatalf("workers=%d Coverage %v differs from workers=1 Coverage %v",
+						workers, sum.Coverage(), ref.Coverage())
+				}
+				for i := range sum.Results {
+					if sum.Results[i] != ref.Results[i] {
+						t.Fatalf("workers=%d trial %d = %+v, workers=1 got %+v",
+							workers, i, sum.Results[i], ref.Results[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+// Content-addressed result cache: a fixed-entry LRU over canonical
+// request keys, fronted by single-flight deduplication so a stampede of
+// identical requests computes once and fans the bytes out to every
+// waiter.
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one cached response body.
+type cacheEntry struct {
+	key   string
+	bytes []byte
+}
+
+// lruCache is a mutex-guarded LRU keyed by canonical request key. Values
+// are immutable response bodies, so a hit can hand the stored slice to
+// any number of readers without copying.
+type lruCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; elements hold *cacheEntry
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+func newLRUCache(maxEntries int) *lruCache {
+	if maxEntries <= 0 {
+		maxEntries = 1
+	}
+	return &lruCache{
+		max:     maxEntries,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached bytes for key, promoting the entry, and counts
+// the hit or miss.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).bytes, true
+}
+
+// put inserts (or refreshes) key's bytes, evicting from the LRU tail.
+func (c *lruCache) put(key string, b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).bytes = b
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, bytes: b})
+	for len(c.entries) > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats samples the counters for the metrics registry.
+func (c *lruCache) stats() (hits, misses, evictions uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, len(c.entries)
+}
+
+// flightCall is one in-flight computation other requests can latch onto.
+type flightCall struct {
+	done  chan struct{}
+	bytes []byte
+	err   error
+}
+
+// flightGroup deduplicates concurrent computations by key: the first
+// caller becomes the leader and runs fn, every concurrent duplicate
+// blocks on the leader's result. Unlike a generic singleflight, the
+// result is not re-fetched from the cache afterwards — waiters read the
+// call record directly, so an eviction racing the fan-out cannot force a
+// recompute.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn for key once among concurrent callers. leader reports
+// whether this caller executed fn itself.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (b []byte, err error, leader bool) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-call.done
+		return call.bytes, call.err, false
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.bytes, call.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.bytes, call.err, true
+}

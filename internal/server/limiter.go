@@ -1,0 +1,78 @@
+// Admission control: a bounded worker pool plus a bounded wait queue.
+// Requests beyond workers+queue are rejected immediately with
+// errOverloaded (mapped to 429 + Retry-After by the handler), so overload
+// produces fast, explicit pushback instead of unbounded goroutine and
+// memory growth.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errOverloaded is returned by limiter.acquire when both the worker pool
+// and the wait queue are full.
+var errOverloaded = errors.New("server overloaded: worker pool and queue full")
+
+// limiter is a counting semaphore (the worker pool) with a bounded number
+// of blocked acquirers (the queue).
+type limiter struct {
+	slots chan struct{} // buffered to the worker count
+
+	mu      sync.Mutex
+	waiting int
+	maxWait int
+}
+
+func newLimiter(workers, queueDepth int) *limiter {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &limiter{slots: make(chan struct{}, workers), maxWait: queueDepth}
+}
+
+// acquire claims a worker slot, queueing if the pool is busy and the
+// queue has room. It fails fast with errOverloaded at capacity and with
+// ctx.Err() if the caller gives up while queued.
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	l.mu.Lock()
+	if l.waiting >= l.maxWait {
+		l.mu.Unlock()
+		return errOverloaded
+	}
+	l.waiting++
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.waiting--
+		l.mu.Unlock()
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot.
+func (l *limiter) release() { <-l.slots }
+
+// depth reports the current queue occupancy (blocked acquirers).
+func (l *limiter) depth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waiting
+}
+
+// inFlight reports the busy worker count.
+func (l *limiter) inFlight() int { return len(l.slots) }

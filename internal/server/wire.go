@@ -1,0 +1,260 @@
+// Wire format of the rmtd HTTP/JSON API, and the content-addressed keys
+// the result cache is indexed by.
+//
+// A request is canonicalised before anything else happens to it: the JSON
+// body is decoded into a fixed struct (so incoming field order is
+// irrelevant), validated, normalised (default sizes resolved, fields the
+// selected mode ignores zeroed), and re-marshalled with the struct's fixed
+// field order. The SHA-256 of that canonical encoding, prefixed with the
+// endpoint name, is the cache key. encoding/json emits every field of the
+// normalised struct exactly once in declaration order, so the canonical
+// encoding — and therefore the key — is injective on normalised requests:
+// distinct experiments never collide, and the same experiment always maps
+// to the same key however its JSON was spelled. FuzzCanonicalKey holds
+// this contract in place.
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/rmt"
+)
+
+// maxBodyBytes bounds a request body; a sweep of every kernel in every
+// mode fits in a few KB, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// SpecWire is the JSON form of one simulation spec. It mirrors rmt.Spec
+// with the mode spelled by name, plus the sizing that rmt passes as
+// options (0 = server default, resolved during canonicalisation).
+type SpecWire struct {
+	Mode              string   `json:"mode"`
+	Programs          []string `json:"programs"`
+	PSR               bool     `json:"psr"`
+	PerThreadSQ       bool     `json:"per_thread_sq"`
+	NoStoreComparison bool     `json:"no_store_comparison"`
+	CheckerLatency    uint64   `json:"checker_latency"`
+}
+
+// validate checks the spec and returns its parsed mode.
+func (s *SpecWire) validate() (rmt.Mode, error) {
+	mode, err := rmt.ParseMode(s.Mode)
+	if err != nil {
+		return 0, err
+	}
+	if len(s.Programs) == 0 {
+		return 0, fmt.Errorf("spec has no programs")
+	}
+	known := make(map[string]bool, len(rmt.Kernels()))
+	for _, k := range rmt.Kernels() {
+		known[k] = true
+	}
+	for _, p := range s.Programs {
+		if !known[p] {
+			return 0, fmt.Errorf("unknown kernel %q (see /healthz for the server, rmt.Kernels() for the list)", p)
+		}
+	}
+	return mode, nil
+}
+
+// normalise rewrites the spec into its canonical form: the mode name is
+// the parsed mode's own String (so aliases or stray spellings cannot fork
+// the key) and fields the mode ignores are zeroed (CheckerLatency only
+// matters under lockstep — an SRT spec with CheckerLatency 8 is the same
+// experiment as one with 0 and must hit the same cache line).
+func (s *SpecWire) normalise(mode rmt.Mode) {
+	s.Mode = mode.String()
+	if mode != rmt.Lockstep {
+		s.CheckerLatency = 0
+	}
+}
+
+// toSpec converts the validated wire form to the facade's Spec.
+func (s *SpecWire) toSpec(mode rmt.Mode) rmt.Spec {
+	return rmt.Spec{
+		Mode:              mode,
+		Programs:          s.Programs,
+		PSR:               s.PSR,
+		PerThreadSQ:       s.PerThreadSQ,
+		NoStoreComparison: s.NoStoreComparison,
+		CheckerLatency:    s.CheckerLatency,
+	}
+}
+
+// RunRequest is the body of POST /run.
+type RunRequest struct {
+	SpecWire
+	// Budget/Warmup are instruction counts; 0 selects the rmt defaults
+	// and is resolved to the concrete value before keying.
+	Budget uint64 `json:"budget"`
+	Warmup uint64 `json:"warmup"`
+}
+
+// SweepRequest is the body of POST /sweep: independent specs sharing one
+// sizing, exactly like rmt.Sweep.
+type SweepRequest struct {
+	Specs  []SpecWire `json:"specs"`
+	Budget uint64     `json:"budget"`
+	Warmup uint64     `json:"warmup"`
+}
+
+// CampaignRequest is the body of POST /campaign: a deterministic
+// transient-fault injection campaign (internal/fault) against an RMT mode.
+type CampaignRequest struct {
+	SpecWire
+	// N is the number of injection trials; Seed draws the fault plan.
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+	// Budget/Warmup as in RunRequest (0 = campaign defaults).
+	Budget uint64 `json:"budget"`
+	Warmup uint64 `json:"warmup"`
+}
+
+// CampaignResponse is the body served for POST /campaign.
+type CampaignResponse struct {
+	Runs                int     `json:"runs"`
+	Detected            int     `json:"detected"`
+	Masked              int     `json:"masked"`
+	NotFired            int     `json:"not_fired"`
+	Coverage            float64 `json:"coverage"`
+	MeanDetectionCycles float64 `json:"mean_detection_cycles"`
+	TotalCycles         uint64  `json:"total_cycles"`
+	// Outcomes lists the per-trial classification in trial order —
+	// invariant to the server's campaign parallelism.
+	Outcomes []string `json:"outcomes"`
+}
+
+// resolveSizes maps (budget, warmup) with 0 meaning "default" to the
+// concrete defaults, so a request spelling the default explicitly and one
+// omitting it are the same experiment (and the same cache key).
+func resolveSizes(budget, warmup, defBudget, defWarmup uint64) (uint64, uint64) {
+	if budget == 0 {
+		budget = defBudget
+	}
+	if warmup == 0 {
+		warmup = defWarmup
+	}
+	return budget, warmup
+}
+
+// Campaign sizing defaults, matching cmd/faultinject's full sizes.
+const (
+	defaultCampaignBudget uint64 = 20000
+	defaultCampaignWarmup uint64 = 5000
+	// maxCampaignTrials bounds one request's work.
+	maxCampaignTrials = 10000
+)
+
+// canonicalKey hashes the canonical encoding of a normalised request
+// under its endpoint name. The endpoint is part of the preimage so /run
+// and a one-spec /sweep of the same experiment cannot share an entry
+// (their response shapes differ).
+func canonicalKey(endpoint string, normalised any) string {
+	enc, err := json.Marshal(normalised)
+	if err != nil {
+		panic(fmt.Sprintf("server: canonical marshal cannot fail: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write(enc)
+	return endpoint + ":" + hex.EncodeToString(h.Sum(nil))
+}
+
+// decodeStrict decodes body into v, rejecting unknown fields and trailing
+// garbage — a mistyped field name must be a 400, not a silently-distinct
+// cache key.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// parseRun canonicalises a /run body: decoded, validated, normalised,
+// keyed.
+func parseRun(body []byte) (RunRequest, rmt.Mode, string, error) {
+	var req RunRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return req, 0, "", err
+	}
+	mode, err := req.validate()
+	if err != nil {
+		return req, 0, "", err
+	}
+	req.normalise(mode)
+	req.Budget, req.Warmup = resolveSizes(req.Budget, req.Warmup, rmt.DefaultBudget, rmt.DefaultWarmup)
+	return req, mode, canonicalKey("run", req), nil
+}
+
+// parseSweep canonicalises a /sweep body.
+func parseSweep(body []byte) (SweepRequest, []rmt.Spec, string, error) {
+	var req SweepRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return req, nil, "", err
+	}
+	if len(req.Specs) == 0 {
+		return req, nil, "", fmt.Errorf("sweep has no specs")
+	}
+	specs := make([]rmt.Spec, len(req.Specs))
+	for i := range req.Specs {
+		mode, err := req.Specs[i].validate()
+		if err != nil {
+			return req, nil, "", fmt.Errorf("spec %d: %w", i, err)
+		}
+		req.Specs[i].normalise(mode)
+		specs[i] = req.Specs[i].toSpec(mode)
+	}
+	req.Budget, req.Warmup = resolveSizes(req.Budget, req.Warmup, rmt.DefaultBudget, rmt.DefaultWarmup)
+	return req, specs, canonicalKey("sweep", req), nil
+}
+
+// parseCampaign canonicalises a /campaign body.
+func parseCampaign(body []byte) (CampaignRequest, rmt.Mode, string, error) {
+	var req CampaignRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return req, 0, "", err
+	}
+	mode, err := req.validate()
+	if err != nil {
+		return req, 0, "", err
+	}
+	if mode != rmt.SRT && mode != rmt.CRT {
+		return req, 0, "", fmt.Errorf("campaign requires an RMT mode (srt or crt), got %s", mode)
+	}
+	if req.N <= 0 || req.N > maxCampaignTrials {
+		return req, 0, "", fmt.Errorf("campaign n must be in 1..%d, got %d", maxCampaignTrials, req.N)
+	}
+	req.normalise(mode)
+	req.Budget, req.Warmup = resolveSizes(req.Budget, req.Warmup, defaultCampaignBudget, defaultCampaignWarmup)
+	return req, mode, canonicalKey("campaign", req), nil
+}
+
+// EncodeResult renders one rmt.Result exactly as /run serves it: indented
+// JSON plus a trailing newline. The e2e battery compares /run bodies
+// against this encoding of a direct rmt.Run result byte for byte.
+func EncodeResult(res *rmt.Result) []byte {
+	return encodeJSON(res)
+}
+
+// EncodeResults renders a result slice exactly as /sweep serves it.
+func EncodeResults(results []*rmt.Result) []byte {
+	return encodeJSON(results)
+}
+
+func encodeJSON(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("server: response marshal cannot fail: %v", err))
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,205 @@
+// Client wire-protocol tests against a scripted fake daemon. The real
+// end-to-end pairing (client against internal/server, results compared to
+// the local facade) lives in internal/server's battery; these tests pin
+// the client's own half of the contract — request shape, response
+// decoding, and error mapping — without a simulator in the loop.
+package rmt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeDaemon records the last request and plays back a scripted response.
+type fakeDaemon struct {
+	t        *testing.T
+	status   int
+	header   map[string]string
+	respond  any    // marshalled as the response body when non-nil
+	raw      string // literal body when respond is nil
+	lastPath string
+	lastBody map[string]any
+}
+
+func (f *fakeDaemon) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.lastPath = r.URL.Path
+		f.lastBody = nil
+		if r.Method == http.MethodPost {
+			if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+				f.t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			if err := json.NewDecoder(r.Body).Decode(&f.lastBody); err != nil {
+				f.t.Errorf("request body does not decode: %v", err)
+			}
+		}
+		for k, v := range f.header {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(f.status)
+		if f.respond != nil {
+			json.NewEncoder(w).Encode(f.respond)
+			return
+		}
+		w.Write([]byte(f.raw))
+	})
+}
+
+func newFake(t *testing.T, status int) (*fakeDaemon, *Client) {
+	t.Helper()
+	f := &fakeDaemon{t: t, status: status}
+	srv := httptest.NewServer(f.handler())
+	t.Cleanup(srv.Close)
+	return f, NewClient(srv.URL + "/") // trailing slash must be trimmed
+}
+
+func TestClientRunRequestShapeAndDecode(t *testing.T) {
+	want := &Result{
+		Spec:   Spec{Mode: CRT, Programs: []string{"gcc", "swim"}, PSR: true},
+		Cycles: 1234,
+		IPC:    []float64{2.5, 1.75},
+	}
+	f, c := newFake(t, http.StatusOK)
+	f.respond = want
+	got, err := c.Run(context.Background(),
+		Spec{Mode: CRT, Programs: []string{"gcc", "swim"}, PSR: true},
+		WithBudget(9000), WithWarmup(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("result did not round-trip: %+v vs %+v", got, want)
+	}
+	if f.lastPath != "/run" {
+		t.Fatalf("posted to %s, want /run", f.lastPath)
+	}
+	for field, want := range map[string]any{
+		"mode": "crt", "psr": true, "budget": 9000.0, "warmup": 4000.0,
+	} {
+		if got := f.lastBody[field]; got != want {
+			t.Errorf("request %s = %v, want %v", field, got, want)
+		}
+	}
+}
+
+func TestClientSweepKeepsOrder(t *testing.T) {
+	want := []*Result{
+		{Spec: Spec{Mode: SRT, Programs: []string{"gcc"}}, Cycles: 1},
+		{Spec: Spec{Mode: SRT, Programs: []string{"go"}}, Cycles: 2},
+	}
+	f, c := newFake(t, http.StatusOK)
+	f.respond = want
+	got, err := c.Sweep(context.Background(), []Spec{
+		{Mode: SRT, Programs: []string{"gcc"}},
+		{Mode: SRT, Programs: []string{"go"}},
+	}, WithQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sweep results did not round-trip in order")
+	}
+	if f.lastPath != "/sweep" {
+		t.Fatalf("posted to %s, want /sweep", f.lastPath)
+	}
+	specs, ok := f.lastBody["specs"].([]any)
+	if !ok || len(specs) != 2 {
+		t.Fatalf("request specs = %v, want 2 entries", f.lastBody["specs"])
+	}
+}
+
+func TestClientCampaignRequestShape(t *testing.T) {
+	want := &CampaignSummary{Runs: 5, Detected: 4, Masked: 1, Coverage: 0.8,
+		Outcomes: []string{"detected", "detected", "masked", "detected", "detected"}}
+	f, c := newFake(t, http.StatusOK)
+	f.respond = want
+	got, err := c.Campaign(context.Background(),
+		CampaignSpec{Spec: Spec{Mode: SRT, Programs: []string{"compress"}}, N: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("summary did not round-trip: %+v vs %+v", got, want)
+	}
+	if f.lastPath != "/campaign" {
+		t.Fatalf("posted to %s, want /campaign", f.lastPath)
+	}
+	if f.lastBody["n"] != 5.0 || f.lastBody["seed"] != 7.0 {
+		t.Fatalf("request n/seed = %v/%v, want 5/7", f.lastBody["n"], f.lastBody["seed"])
+	}
+	// No explicit sizes: zeros defer to the daemon's campaign defaults.
+	if f.lastBody["budget"] != 0.0 || f.lastBody["warmup"] != 0.0 {
+		t.Fatalf("unsized campaign sent budget/warmup %v/%v, want 0/0",
+			f.lastBody["budget"], f.lastBody["warmup"])
+	}
+}
+
+func TestClientHealth(t *testing.T) {
+	f, c := newFake(t, http.StatusOK)
+	f.raw = "ok\n"
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthy daemon reported unhealthy: %v", err)
+	}
+	f.status = http.StatusServiceUnavailable
+	f.raw = "draining\n"
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("draining daemon reported healthy")
+	}
+}
+
+func TestClientMetrics(t *testing.T) {
+	f, c := newFake(t, http.StatusOK)
+	f.raw = `{"cycle":3}`
+	b, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"cycle":3}` {
+		t.Fatalf("metrics body = %q", b)
+	}
+	f.status = http.StatusInternalServerError
+	f.raw = "boom"
+	if _, err := c.Metrics(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Fatalf("metrics error lost the body: %v", err)
+	}
+}
+
+func TestClientMapsBackpressureToRetryAfterError(t *testing.T) {
+	f, c := newFake(t, http.StatusTooManyRequests)
+	f.header = map[string]string{"Retry-After": "7"}
+	f.raw = `{"error":"server overloaded: worker pool and queue full"}`
+	_, err := c.Run(context.Background(), Spec{Mode: SRT, Programs: []string{"gcc"}})
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("429 surfaced as %T (%v), want *RetryAfterError", err, err)
+	}
+	if ra.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", ra.RetryAfter)
+	}
+	if !strings.Contains(ra.Message, "overloaded") || !strings.Contains(ra.Error(), "7s") {
+		t.Fatalf("error lost daemon detail: %v", ra)
+	}
+}
+
+func TestClientSurfacesDaemonErrors(t *testing.T) {
+	f, c := newFake(t, http.StatusBadRequest)
+	f.raw = `{"error":"run: unknown kernel \"gccc\""}`
+	_, err := c.Run(context.Background(), Spec{Mode: SRT, Programs: []string{"gccc"}})
+	if err == nil || !strings.Contains(err.Error(), `unknown kernel "gccc"`) {
+		t.Fatalf("daemon error body was not surfaced: %v", err)
+	}
+	// Non-JSON error bodies pass through trimmed rather than vanishing.
+	f.raw = "  plain text failure\n"
+	_, err = c.Run(context.Background(), Spec{Mode: SRT, Programs: []string{"gcc"}})
+	if err == nil || !strings.Contains(err.Error(), "plain text failure") {
+		t.Fatalf("non-JSON error body was not surfaced: %v", err)
+	}
+}
