@@ -6,6 +6,8 @@ package server
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 )
 
@@ -102,22 +104,35 @@ func newFlightGroup() *flightGroup {
 
 // do runs fn for key once among concurrent callers. leader reports
 // whether this caller executed fn itself.
+//
+// A leader that fails with a context error failed because its OWN client
+// gave up (canceled or timed out while queued for admission) — that says
+// nothing about the followers, whose clients are still waiting. Followers
+// therefore don't inherit such an error: they retry the flight, re-probing
+// the cache and, if still empty, electing a new leader that runs fn under
+// its own request's context. Every other error is a property of the
+// computation itself and fans out to all waiters as before.
 func (g *flightGroup) do(key string, fn func() ([]byte, error)) (b []byte, err error, leader bool) {
-	g.mu.Lock()
-	if call, ok := g.calls[key]; ok {
+	for {
+		g.mu.Lock()
+		if call, ok := g.calls[key]; ok {
+			g.mu.Unlock()
+			<-call.done
+			if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+				continue
+			}
+			return call.bytes, call.err, false
+		}
+		call := &flightCall{done: make(chan struct{})}
+		g.calls[key] = call
 		g.mu.Unlock()
-		<-call.done
-		return call.bytes, call.err, false
+
+		call.bytes, call.err = fn()
+
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(call.done)
+		return call.bytes, call.err, true
 	}
-	call := &flightCall{done: make(chan struct{})}
-	g.calls[key] = call
-	g.mu.Unlock()
-
-	call.bytes, call.err = fn()
-
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(call.done)
-	return call.bytes, call.err, true
 }

@@ -159,6 +159,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/campaign", s.handleCampaign)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	// Built here, not in Serve: Shutdown may run from another goroutine
+	// before Serve (cmd/rmtd serves from a goroutine while main waits on
+	// signals), and it must always see a valid pointer so an early signal
+	// stops the server instead of racing a nil check.
+	s.httpServer = &http.Server{Handler: s.mux}
 	s.registerMetrics()
 	return s
 }
@@ -203,9 +208,10 @@ func (s *Server) registerMetrics() {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve accepts connections on l until Shutdown. It returns
-// http.ErrServerClosed after a clean drain, like net/http.
+// http.ErrServerClosed after a clean drain, like net/http. If Shutdown
+// already ran, Serve closes l and returns http.ErrServerClosed
+// immediately.
 func (s *Server) Serve(l net.Listener) error {
-	s.httpServer = &http.Server{Handler: s.mux}
 	return s.httpServer.Serve(l)
 }
 
@@ -228,9 +234,6 @@ func (s *Server) ListenAndServe(addr string, ready func(net.Addr)) error {
 // load balancers stop routing while the drain runs.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	if s.httpServer == nil {
-		return nil
-	}
 	return s.httpServer.Shutdown(ctx)
 }
 
@@ -303,8 +306,11 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, st *endpoin
 		st.rejected.Add(1)
 		s.writeError(w, http.StatusServiceUnavailable, err)
 	default:
+		// Validation failed in the parse step before serveCached, so
+		// anything left is the computation itself failing: a server-side
+		// error, not the client's.
 		st.errors.Add(1)
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
@@ -376,13 +382,14 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	s.serveCached(w, r, &s.campaign, key, func() ([]byte, error) {
 		spec := sim.Spec{
-			Mode:        simMode,
-			Programs:    req.Programs,
-			Budget:      req.Budget,
-			Warmup:      req.Warmup,
-			Config:      pipeline.DefaultConfig(),
-			PSR:         req.PSR,
-			PerThreadSQ: req.PerThreadSQ,
+			Mode:              simMode,
+			Programs:          req.Programs,
+			Budget:            req.Budget,
+			Warmup:            req.Warmup,
+			Config:            pipeline.DefaultConfig(),
+			PSR:               req.PSR,
+			PerThreadSQ:       req.PerThreadSQ,
+			NoStoreComparison: req.NoStoreComparison,
 		}
 		sum, err := fault.CampaignParallel(spec, req.N, req.Seed,
 			fault.CampaignOptions{Parallelism: s.cfg.SimParallelism})

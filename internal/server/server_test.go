@@ -271,6 +271,96 @@ func TestOverload429AtQueueCapacity(t *testing.T) {
 	}
 }
 
+// TestFollowerSurvivesLeaderClientCancel: when a flight leader's client
+// disconnects while the leader is queued for admission, concurrent
+// identical requests from still-connected clients must not inherit the
+// leader's context-canceled error — they retry the flight under their own
+// contexts and get the result.
+func TestFollowerSurvivesLeaderClientCancel(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	started, release := gate(s)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	})
+
+	type reply struct {
+		status int
+		body   []byte
+	}
+
+	// r0 occupies the single worker, parked inside compute.
+	r0 := make(chan reply, 1)
+	go func() {
+		resp, body := postRaw(ts.URL+"/run", runBody("srt", "gcc", 1001, tWarmup))
+		r0 <- reply{resp.StatusCode, body}
+	}()
+	<-started
+
+	// The leader posts the flight key with a cancellable client and blocks
+	// queued in admission.
+	bodyK := runBody("srt", "compress", 1002, tWarmup)
+	ctxL, cancelL := context.WithCancel(context.Background())
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		req, err := http.NewRequestWithContext(ctxL, http.MethodPost, ts.URL+"/run", strings.NewReader(bodyK))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, func() bool { return s.lim.depth() == 1 }, "leader queued for admission")
+
+	// A follower with a live client joins the same flight.
+	follower := make(chan reply, 1)
+	go func() {
+		resp, body := postRaw(ts.URL+"/run", bodyK)
+		follower <- reply{resp.StatusCode, body}
+	}()
+	waitFor(t, func() bool { return s.run.requests.Load() == 3 }, "follower to reach the flight")
+
+	// The leader's client gives up; its context error is its own, not the
+	// follower's.
+	cancelL()
+	<-leaderDone
+	close(release) // r0 completes, freeing the worker for the follower's retry
+
+	if rep := <-follower; rep.status != http.StatusOK {
+		t.Fatalf("follower after leader cancel: status %d: %s", rep.status, rep.body)
+	}
+	if rep := <-r0; rep.status != http.StatusOK {
+		t.Fatalf("r0 status = %d: %s", rep.status, rep.body)
+	}
+}
+
+// TestComputeFailureIs500: an internal computation error is the server's
+// fault, not the client's.
+func TestComputeFailureIs500(t *testing.T) {
+	s := New(Config{})
+	s.computeWrap = func(key string, compute func() ([]byte, error)) func() ([]byte, error) {
+		return func() ([]byte, error) { return nil, errors.New("compute exploded") }
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, body := post(t, ts.URL+"/run", runBody("srt", "gcc", tBudget, tWarmup))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("compute failure status = %d, want 500 (body %s)", resp.StatusCode, body)
+	}
+	if got := s.run.errors.Load(); got != 1 {
+		t.Fatalf("errors counter = %d, want 1", got)
+	}
+}
+
 func postRaw(url, body string) (*http.Response, []byte) {
 	resp, err := http.Post(url, "application/json", strings.NewReader(body))
 	if err != nil {
@@ -403,6 +493,51 @@ func TestCampaignEndpointMatchesDirectAndCaches(t *testing.T) {
 	}
 	if string(b1) != string(b2) {
 		t.Fatalf("cached campaign served different bytes")
+	}
+}
+
+// TestCampaignPassesThroughNoStoreComparison: a campaign with
+// no_store_comparison=true must be computed with store comparison
+// disabled, not silently served the default experiment under a distinct
+// cache key.
+func TestCampaignPassesThroughNoStoreComparison(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const (
+		n      = 4
+		seed   = 7
+		budget = 4000
+		warmup = 1500
+	)
+	direct, err := fault.CampaignParallel(sim.Spec{
+		Mode:              sim.ModeSRT,
+		Programs:          []string{"compress"},
+		Budget:            budget,
+		Warmup:            warmup,
+		Config:            pipeline.DefaultConfig(),
+		NoStoreComparison: true,
+	}, n, seed, fault.CampaignOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := fmt.Sprintf(`{"mode":"srt","programs":["compress"],"no_store_comparison":true,"n":%d,"seed":%d,"budget":%d,"warmup":%d}`, n, seed, budget, warmup)
+	resp, b := post(t, ts.URL+"/campaign", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var got CampaignResponse
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Detected != direct.Detected || got.Masked != direct.Masked ||
+		got.NotFired != direct.NotFired || got.Coverage != direct.Coverage() ||
+		got.TotalCycles != direct.TotalCycles {
+		t.Fatalf("nosc campaign response %+v disagrees with direct nosc summary %+v", got, direct)
+	}
+	for i, res := range direct.Results {
+		if got.Outcomes[i] != res.Outcome.String() {
+			t.Fatalf("outcome %d = %q, want %q", i, got.Outcomes[i], res.Outcome)
+		}
 	}
 }
 
@@ -570,10 +705,21 @@ func TestListenAndServeRoundTrip(t *testing.T) {
 	}
 }
 
-// TestShutdownBeforeServe: a server that never served drains trivially.
+// TestShutdownBeforeServe: a server that never served drains trivially,
+// and a Serve that loses the race with Shutdown refuses to run (closing
+// its listener) instead of serving forever — cmd/rmtd waits on Serve's
+// error after Shutdown, so this is what keeps an early signal from
+// hanging the daemon.
 func TestShutdownBeforeServe(t *testing.T) {
 	s := New(Config{})
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown of never-served server: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(l); !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve after Shutdown returned %v, want http.ErrServerClosed", err)
 	}
 }
