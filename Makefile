@@ -42,6 +42,7 @@ FUZZTIME := 10s
 fuzz:
 	go test ./internal/isa/ -run '^$$' -fuzz FuzzLoadImage -fuzztime $(FUZZTIME)
 	go test ./internal/server/ -run '^$$' -fuzz FuzzCanonicalKey -fuzztime $(FUZZTIME)
+	go test ./internal/sim/ -run '^$$' -fuzz FuzzSnapshot -fuzztime $(FUZZTIME)
 
 # End-to-end daemon smoke: start rmtd, wait for /healthz, POST the same
 # /run twice and assert the second is served from the cache (X-Cache: hit),
@@ -73,9 +74,20 @@ serve-smoke:
 # Performance harness: run the benchmark battery with allocation accounting
 # and fold the results into BENCH_4.json as the "current" role, next to the
 # recorded pre-optimisation baseline (see EXPERIMENTS.md).
-bench-json:
+bench-json: bench-campaign
 	go test -run '^$$' -bench . -benchtime 1x -benchmem . | tee /tmp/rmt.bench.out
 	go run ./cmd/benchjson -o BENCH_4.json -role current /tmp/rmt.bench.out
+
+# Campaign-engine speedup artifact: the same campaign benchmark under the
+# legacy per-trial engine (baseline) and the fork-on-fault engine (current),
+# recorded as BENCH_5.json. The two runs report identical simcycles — the
+# engines are byte-equivalent (TestForkMatchesLegacy) — so the ns/op ratio
+# is pure engine speedup.
+bench-campaign:
+	RMT_CAMPAIGN_ENGINE=legacy go test -run '^$$' -bench BenchmarkCampaign_ForkOnFault -benchtime 3x . | tee /tmp/rmt.campaign.legacy.out
+	go run ./cmd/benchjson -o BENCH_5.json -role baseline /tmp/rmt.campaign.legacy.out
+	go test -run '^$$' -bench BenchmarkCampaign_ForkOnFault -benchtime 3x . | tee /tmp/rmt.campaign.fork.out
+	go run ./cmd/benchjson -o BENCH_5.json -role current /tmp/rmt.campaign.fork.out
 
 # CI-sized performance gate: every benchmark must still run (one iteration
 # at -short sizes), and a warm simulator must allocate nothing per cycle.
@@ -83,4 +95,4 @@ bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x -short .
 	go test ./internal/sim/ -run TestSteadyStateAllocs -count=1
 
-.PHONY: verify race lint smoke determinism cover fuzz bench-json bench-smoke serve-smoke
+.PHONY: verify race lint smoke determinism cover fuzz bench-json bench-campaign bench-smoke serve-smoke

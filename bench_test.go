@@ -10,9 +10,11 @@
 package repro
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -96,6 +98,44 @@ func BenchmarkFig12_Lock_CRT4(b *testing.B) { benchExperiment(b, exp.Fig12) }
 
 // BenchmarkCoverage_Faults regenerates the fault-injection campaigns.
 func BenchmarkCoverage_Faults(b *testing.B) { benchExperiment(b, exp.Coverage) }
+
+// BenchmarkCampaign_ForkOnFault measures one serial fault-injection
+// campaign: 96 trials on SRT/compress over a doubled cycle budget (the
+// legacy engine's cost scales with run length × trials; the fork engine
+// pays the run once, so a campaign-sized workload is where the design
+// difference shows). By default it runs the fork-on-fault engine — golden
+// run simulated once with periodic state checkpoints, each trial restores
+// the checkpoint before its injection and replays only the suffix, exiting
+// early when its state rejoins the golden run bytewise;
+// RMT_CAMPAIGN_ENGINE=legacy selects the original
+// build-everything-per-trial engine. Both engines produce byte-identical
+// summaries (internal/fault's TestForkMatchesLegacy), so their ns/op ratio
+// — recorded in BENCH_5.json with the legacy run as "baseline" and the fork
+// run as "current" — is the campaign speedup at parallelism 1. The
+// identical simcycles metric across the two roles is the equivalence check
+// in artifact form.
+func BenchmarkCampaign_ForkOnFault(b *testing.B) {
+	p := benchParams(b)
+	spec := sim.Spec{
+		Mode: sim.ModeSRT, Programs: []string{"compress"},
+		Budget: 2 * p.Budget, Warmup: p.Warmup,
+		Config: pipeline.DefaultConfig(), PSR: true,
+	}
+	engine := fault.CampaignParallel
+	if os.Getenv("RMT_CAMPAIGN_ENGINE") == "legacy" {
+		engine = fault.CampaignLegacy
+	}
+	var total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := engine(spec, 96, 0xC0FFEE, fault.CampaignOptions{Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = sum.TotalCycles
+	}
+	b.ReportMetric(float64(total), "simcycles")
+}
 
 // --- ablation benches (design choices from DESIGN.md §5) ---
 

@@ -10,19 +10,25 @@
 //	faultinject -progs compress -n 50            # campaign on SRT
 //	faultinject -mode crt -progs gcc,swim -n 20  # campaign on CRT
 //	faultinject -progs gcc -n 200 -parallel 8    # sharded campaign
+//	faultinject -n 50 -server http://host:8471   # campaign on an rmtd daemon
 //	faultinject -one -seq 5000 -bit 7 -point storedata -target trailing
+//
+// Campaigns go through the rmt.Runner seam: in-process by default, or
+// against a remote rmtd daemon with -server — same summary either way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cliflags"
-	"repro/internal/fault"    //rmtlint:allow layering — drives the fault-campaign engine, not yet exposed via the facade
-	"repro/internal/pipeline" //rmtlint:allow layering — per-run pipeline Config knobs, not yet exposed via the facade
-	"repro/internal/sim"      //rmtlint:allow layering — builds Spec variants the facade does not cover
+	"repro/internal/fault"    //rmtlint:allow layering — single precisely-placed injections (-one) are not exposed via the facade
+	"repro/internal/pipeline" //rmtlint:allow layering — per-run pipeline Config knobs for -one
+	"repro/internal/sim"      //rmtlint:allow layering — builds the -one Spec the facade does not cover
 	"repro/internal/vm"       //rmtlint:allow layering — names architectural corruption points for -point
+	"repro/rmt"
 )
 
 func main() {
@@ -31,6 +37,8 @@ func main() {
 		progsFlag = flag.String("progs", "compress", "comma-separated workload kernels")
 		n         = flag.Int("n", 40, "campaign size")
 		seed      = flag.Uint64("seed", 0xC0FFEE, "campaign seed")
+
+		server = flag.String("server", "", "run the campaign on an rmtd daemon at this base URL instead of in-process")
 
 		one    = flag.Bool("one", false, "inject a single described fault instead of a campaign")
 		seq    = flag.Uint64("seq", 8000, "dynamic instruction number for -one")
@@ -89,31 +97,42 @@ func main() {
 		return
 	}
 
-	sum, err := fault.CampaignParallel(spec, *n, *seed, fault.CampaignOptions{
-		Parallelism: sf.Parallelism(),
-		Progress: func(done, total int) {
+	// Campaigns go through the Runner seam so -server swaps the backend
+	// without touching the rest of this tool.
+	var rn rmt.Runner = rmt.Local{}
+	if *server != "" {
+		rn = rmt.NewClient(*server)
+	}
+	rmtMode, err := rmt.ParseMode(*modeFlag)
+	if err != nil {
+		fatal(fmt.Errorf("faultinject: %w", err))
+	}
+	cs := rmt.CampaignSpec{
+		Spec: rmt.Spec{Mode: rmtMode, Programs: spec.Programs, PSR: true},
+		N:    *n,
+		Seed: *seed,
+	}
+	sum, err := rn.Campaign(context.Background(), cs,
+		rmt.WithBudget(budget), rmt.WithWarmup(warmup),
+		rmt.WithParallelism(sf.Parallelism()),
+		rmt.WithProgress(func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rtrial %d/%d", done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
-		},
-	})
+		}))
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("campaign: mode=%v progs=%v trials=%d\n", mode, spec.Programs, sum.Runs)
 	fmt.Printf("  detected:  %d\n  masked:    %d\n  not fired: %d\n", sum.Detected, sum.Masked, sum.NotFired)
-	fmt.Printf("  coverage of fired faults: %.1f%%\n", 100*sum.Coverage())
+	fmt.Printf("  coverage of fired faults: %.1f%%\n", 100*sum.Coverage)
 	if sum.Detected > 0 {
 		fmt.Printf("  mean detection latency:   %.0f cycles\n", sum.MeanDetectionCycles)
 	}
 	fmt.Println("\nper-trial outcomes:")
-	for _, r := range sum.Results {
-		lat := ""
-		if r.Outcome == fault.Detected {
-			lat = fmt.Sprintf(" (%d cycles)", r.DetectionCycles)
-		}
-		fmt.Printf("  %v -> %v%s\n", r.Fault, r.Outcome, lat)
+	for i, o := range sum.Outcomes {
+		fmt.Printf("  trial %d -> %s\n", i, o)
 	}
 }
 

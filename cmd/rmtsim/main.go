@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -129,7 +130,7 @@ func main() {
 	if !*noRel {
 		// The per-program reference runs are independent simulations;
 		// fan them across the worker pool through the public facade.
-		baseIPC, err = rmt.BaseIPC(progs,
+		baseIPC, err = rmt.BaseIPC(context.Background(), progs,
 			rmt.WithBudget(budget), rmt.WithWarmup(warmup),
 			rmt.WithParallelism(sf.Parallelism()))
 		if err != nil {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,8 @@ func main() {
 	opts := []rmt.Option{rmt.WithBudget(30000), rmt.WithWarmup(30000)}
 
 	// Single-thread base IPCs: the SMT-Efficiency denominators.
-	baseIPC, err := rmt.BaseIPC(progs, opts...)
+	ctx := context.Background()
+	baseIPC, err := rmt.BaseIPC(ctx, progs, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +38,7 @@ func main() {
 		{Mode: rmt.CRT, PSR: true, Programs: progs},
 		{Mode: rmt.CRT, PSR: true, PerThreadSQ: true, Programs: progs},
 	}
-	results, err := rmt.Sweep(specs, opts...)
+	results, err := rmt.Sweep(ctx, specs, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,8 @@ func main() {
 	opts := []rmt.Option{rmt.WithBudget(budget), rmt.WithWarmup(warmup)}
 
 	// 1. The base machine: one hardware thread, no protection.
-	base, err := rmt.Run(rmt.Spec{
+	ctx := context.Background()
+	base, err := rmt.Run(ctx, rmt.Spec{
 		Mode:     rmt.Base,
 		Programs: []string{workload},
 	}, opts...)
@@ -35,7 +37,7 @@ func main() {
 	// 2. The same program as a redundant pair on one SMT core (SRT):
 	// leading + trailing hardware threads, inputs replicated through the
 	// load value queue, outputs compared at the store comparator.
-	srt, err := rmt.Run(rmt.Spec{
+	srt, err := rmt.Run(ctx, rmt.Spec{
 		Mode:     rmt.SRT,
 		Programs: []string{workload},
 		PSR:      true, // preferential space redundancy (§4.5)

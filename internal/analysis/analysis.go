@@ -159,7 +159,7 @@ func (p *Pass) pkgNameOf(id *ast.Ident) string {
 
 // Analyzers returns the Layer-1 suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, Layering, SharedState}
+	return []*Analyzer{Determinism, Layering, SharedState, Snapshot}
 }
 
 // RunAnalyzers applies the given analyzers to one loaded package and returns

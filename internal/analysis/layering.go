@@ -9,7 +9,7 @@ import (
 
 // Layering enforces the import DAG DESIGN.md draws for the simulator:
 //
-//	layer 0  isa, stats, runner, metrics   (leaves: no repro imports)
+//	layer 0  isa, stats, runner, metrics, snap (leaves: no repro imports)
 //	layer 1  vm, program, predict, mem, rmt (branch/LVQ/SQ queues), analysis
 //	layer 2  pipeline
 //	layer 3  lockstep, trace
@@ -45,6 +45,7 @@ var layerOf = map[string]int{
 	ModPath + "/internal/stats":    0,
 	ModPath + "/internal/runner":   0,
 	ModPath + "/internal/metrics":  0,
+	ModPath + "/internal/snap":     0,
 	ModPath + "/internal/vm":       1,
 	ModPath + "/internal/program":  1,
 	ModPath + "/internal/predict":  1,

@@ -13,7 +13,10 @@
 package fault
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -202,15 +205,15 @@ func Plan(spec sim.Spec, n int, seed uint64) []Transient {
 }
 
 // Campaign runs n injection trials against the configuration described by
-// spec (which must be an RMT mode: SRT or CRT). Each trial builds a fresh
-// machine, injects one transient at a pseudo-random point after warmup, and
-// classifies the outcome. Trials run serially; use CampaignParallel to
-// shard them across workers.
+// spec (which must be an RMT mode: SRT or CRT). Each trial injects one
+// transient at a pseudo-random point after warmup and classifies the
+// outcome. Trials run serially; use CampaignParallel to shard them across
+// workers.
 func Campaign(spec sim.Spec, n int, seed uint64) (*CampaignSummary, error) {
 	return CampaignParallel(spec, n, seed, CampaignOptions{Parallelism: 1})
 }
 
-// CampaignOptions configure how CampaignParallel schedules its trials.
+// CampaignOptions configure how a campaign schedules its trials.
 type CampaignOptions struct {
 	// Parallelism caps concurrent trials (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int
@@ -218,14 +221,67 @@ type CampaignOptions struct {
 	Progress func(done, total int)
 	// OnReport, when non-nil, receives the campaign's timing report.
 	OnReport func(runner.Report)
+	// Cancel, when non-nil, is polled before each trial; a non-nil return
+	// aborts the campaign with that error (context cancellation plumbing).
+	Cancel func() error
 }
 
 // CampaignParallel runs the same campaign as Campaign with the injection
-// trials sharded across a worker pool. Each trial builds its own machine,
-// the fault plan is fixed before the first trial starts, and results are
-// keyed by trial index — so the summary, including per-trial outcome
-// order, is identical at any parallelism.
+// trials sharded across a worker pool, using the fork-on-fault engine: the
+// fault-free (golden) run is simulated once, with machine-state checkpoints
+// taken at a fixed cycle interval, and each trial restores the last
+// checkpoint before its injection point and replays only the suffix instead
+// of re-simulating the whole prefix. Replay machines are recycled through a
+// pool (restore overwrites all mutable state), so steady-state trial cost is
+// one snapshot decode plus the suffix cycles. The fault plan is fixed before
+// the first trial starts and results are keyed by trial index, so the
+// summary — including per-trial outcome order — is identical at any
+// parallelism, and byte-identical to CampaignLegacy's.
 func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (*CampaignSummary, error) {
+	if spec.Mode != sim.ModeSRT && spec.Mode != sim.ModeCRT {
+		return nil, fmt.Errorf("fault: campaign requires an RMT mode, got %v", spec.Mode)
+	}
+	spec.StopOnDetection = true
+	faults := Plan(spec, n, seed)
+	prep, err := forkPrepare(spec, faults)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run: %w", err)
+	}
+	jobs := make([]func() (Result, error), n)
+	for i := range faults {
+		i, f := i, faults[i]
+		jobs[i] = func() (Result, error) {
+			if opts.Cancel != nil {
+				if err := opts.Cancel(); err != nil {
+					return Result{}, err
+				}
+			}
+			if !prep.fired[i] {
+				return prep.classifyUnfired(f), nil
+			}
+			res, err := prep.replay(spec, f, i)
+			if err != nil {
+				return Result{}, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
+			}
+			return res, nil
+		}
+	}
+	results, rep, err := runner.Run(jobs, runner.Options{Parallelism: opts.Parallelism, Progress: opts.Progress})
+	if opts.OnReport != nil {
+		opts.OnReport(rep)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return summarize(n, results), nil
+}
+
+// CampaignLegacy runs the campaign with the original per-trial engine:
+// every trial builds a fresh machine and re-simulates warmup plus the
+// entire fault-free prefix before its injection point. It is retained as
+// the equivalence baseline for the fork-on-fault engine (the two must
+// produce byte-identical summaries) and for benchmarking the speedup.
+func CampaignLegacy(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (*CampaignSummary, error) {
 	if spec.Mode != sim.ModeSRT && spec.Mode != sim.ModeCRT {
 		return nil, fmt.Errorf("fault: campaign requires an RMT mode, got %v", spec.Mode)
 	}
@@ -235,6 +291,11 @@ func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (
 	for i := range faults {
 		i, f := i, faults[i]
 		jobs[i] = func() (Result, error) {
+			if opts.Cancel != nil {
+				if err := opts.Cancel(); err != nil {
+					return Result{}, err
+				}
+			}
 			res, err := RunOne(spec, f)
 			if err != nil {
 				return Result{}, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
@@ -249,6 +310,12 @@ func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (
 	if err != nil {
 		return nil, err
 	}
+	return summarize(n, results), nil
+}
+
+// summarize aggregates per-trial results into the campaign summary; shared
+// by both engines so aggregation can never diverge between them.
+func summarize(n int, results []Result) *CampaignSummary {
 	sum := &CampaignSummary{Runs: n, Results: results}
 	var totalLatency uint64
 	for _, res := range results {
@@ -266,7 +333,289 @@ func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (
 	if sum.Detected > 0 {
 		sum.MeanDetectionCycles = float64(totalLatency) / float64(sum.Detected)
 	}
-	return sum, nil
+	return sum
+}
+
+// checkpointInterval is the golden-run checkpoint spacing in machine
+// iterations. A trial replays from the last checkpoint at or before its
+// fire iteration; an armed fault is silent until its exact injection point,
+// so the replayed prefix re-executes the golden run bit-for-bit and the
+// interval trades at most this many re-simulated cycles per trial against
+// the cost of encoding checkpoints nobody replays from.
+const checkpointInterval = 1024
+
+// convergenceChecks bounds how many checkpoint boundaries past its fire a
+// replay trial compares itself against the golden run before giving up and
+// simulating to the end. Masked faults die fast — the corrupted value is
+// overwritten and the machine state rejoins the golden run bitwise within a
+// boundary or two — so a small bound captures the early exits while capping
+// the snapshot-encode cost of trials that genuinely diverge.
+const convergenceChecks = 2
+
+// errConverged aborts a replay whose state has become byte-identical to the
+// golden run: the rest of the trial is provably the golden suffix, so its
+// outcome is known without simulating it.
+var errConverged = errors.New("fault: replay converged with golden run")
+
+// forkPrep carries what the golden pass learned: per fault, whether it
+// fires and at which machine iteration; periodic checkpoints covering every
+// fire; the golden run's end state for classifying unfired trials; and a
+// pool of machines recycled across replay trials.
+type forkPrep struct {
+	fired    []bool
+	fireIter []uint64          // machine iteration (Machine.Cycles) at fire
+	snaps    map[uint64][]byte // checkpoint iteration -> snapshot
+	pool     sync.Pool         // recycled *sim.Machine for replay trials
+
+	endCycle     uint64 // Cores[0].Cycle() at golden completion
+	detections   int    // golden detections (0 in a healthy machine)
+	haltDiverged []bool // per logical: lead/trail halt states diverged
+}
+
+// checkpointFor returns the snapshot a fired trial replays from: the last
+// checkpoint at or before its fire iteration. The golden run reached the
+// fire iteration, so every earlier checkpoint boundary was crossed and the
+// lookup cannot miss.
+func (p *forkPrep) checkpointFor(i int) []byte {
+	return p.snaps[p.fireIter[i]-p.fireIter[i]%checkpointInterval]
+}
+
+// classifyUnfired reproduces the legacy engine's classification for a trial
+// whose fault never fires: such a trial's machine executes the golden run
+// bit-for-bit (an armed-but-silent fault and oracle tolerance change
+// nothing on a fault-free path), so its outcome is a function of golden end
+// state alone.
+func (p *forkPrep) classifyUnfired(f Transient) Result {
+	res := Result{Fault: f, Cycles: p.endCycle}
+	switch {
+	case p.detections > 0 || p.haltDiverged[f.Logical]:
+		res.Outcome = Detected
+		res.DetectionCycles = p.endCycle // fireCycle 0, end > 0
+	default:
+		res.Outcome = NotFired
+	}
+	return res
+}
+
+// forkPrepare runs the golden simulation once, doing two things at the same
+// time: read-only observers record (without perturbing) the machine
+// iteration where each planned fault first fires, and the OnCycle hook
+// captures a state checkpoint every checkpointInterval iterations. The
+// observers return every value unchanged and snapshot encoding only reads
+// state, so the pass executes the identical fault-free run. Checkpoints no
+// fired fault replays from are dropped afterwards, and the golden machine
+// itself seeds the replay pool.
+func forkPrepare(spec sim.Spec, faults []Transient) (*forkPrep, error) {
+	p := &forkPrep{
+		fired:    make([]bool, len(faults)),
+		fireIter: make([]uint64, len(faults)),
+		snaps:    make(map[uint64][]byte),
+	}
+	g, err := sim.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	// firedCount and maxFire track fire discovery as the golden run
+	// progresses, so checkpointing can stop once no future checkpoint could
+	// be replayed from or converged against.
+	firedCount, maxFire := 0, uint64(0)
+	// Group fault indices by victim context in deterministic (logical,
+	// target) order and install one read-only observer per victim. The
+	// observer mirrors Arm's trigger condition per fault — first call with
+	// seq >= AtSeq at the matching point — and records the machine
+	// iteration, which is the cycle to snapshot before.
+	for logical := 0; logical < len(g.Leads); logical++ {
+		for _, target := range []Copy{LeadingCopy, TrailingCopy} {
+			var mine []int
+			for i, f := range faults {
+				if f.Logical == logical && f.Target == target {
+					mine = append(mine, i)
+				}
+			}
+			if len(mine) == 0 {
+				continue
+			}
+			ctx := g.Leads[logical]
+			if target == TrailingCopy {
+				ctx = g.Trails[logical]
+			}
+			if ctx == nil {
+				return nil, fmt.Errorf("no %v copy for logical thread %d (mode %v)",
+					target, logical, spec.Mode)
+			}
+			ctx.Arch.Corrupt = func(point vm.CorruptPoint, seq, pc, v uint64) uint64 {
+				for _, i := range mine {
+					if !p.fired[i] && seq >= faults[i].AtSeq && point == faults[i].Point {
+						p.fired[i] = true
+						p.fireIter[i] = g.Cycles
+						firedCount++
+						if g.Cycles > maxFire {
+							maxFire = g.Cycles
+						}
+					}
+				}
+				return v
+			}
+		}
+	}
+	g.OnCycle = func(cycle uint64) error {
+		if cycle%checkpointInterval != 0 {
+			return nil
+		}
+		// Once every fault has fired, checkpoints are only useful as
+		// convergence references for the latest fire; past that horizon
+		// nothing can replay from or compare against them.
+		if firedCount == len(faults) &&
+			cycle > maxFire-maxFire%checkpointInterval+convergenceChecks*checkpointInterval {
+			return nil
+		}
+		snap, err := g.Snapshot()
+		if err != nil {
+			return err
+		}
+		p.snaps[cycle] = snap
+		return nil
+	}
+	if _, err := g.Run(); err != nil {
+		return nil, err
+	}
+	p.endCycle = g.Cores[0].Cycle()
+	p.detections = len(g.Detections())
+	p.haltDiverged = make([]bool, len(g.Leads))
+	for i := range g.Leads {
+		if tr := g.Trails[i]; tr != nil {
+			p.haltDiverged[i] = g.Leads[i].Arch.Halted != tr.Arch.Halted
+		}
+	}
+	// Checkpoints before the earliest replay base serve neither as restore
+	// points nor as convergence references; drop them. Everything later
+	// stays: a trial may replay from it, or compare against it to prove it
+	// has rejoined the golden run.
+	minBase, anyFired := ^uint64(0), false
+	for i := range faults {
+		if p.fired[i] {
+			base := p.fireIter[i] - p.fireIter[i]%checkpointInterval
+			if p.snaps[base] == nil {
+				return nil, fmt.Errorf("golden run has no checkpoint %d for fire cycle %d", base, p.fireIter[i])
+			}
+			if base < minBase {
+				minBase = base
+			}
+			anyFired = true
+		}
+	}
+	for cycle := range p.snaps {
+		if !anyFired || cycle < minBase {
+			delete(p.snaps, cycle)
+		}
+	}
+	// The golden machine's job is done; strip its hooks and let the first
+	// replay trial recycle it instead of building from scratch.
+	g.OnCycle = nil
+	clearCorruptHooks(g)
+	p.pool.Put(g)
+	return p, nil
+}
+
+// clearCorruptHooks detaches every corruption closure from the machine.
+// Arm chains onto Arch.Corrupt and hook wiring is deliberately outside the
+// snapshot, so a recycled machine must shed the previous trial's closures
+// before it is re-armed.
+func clearCorruptHooks(m *sim.Machine) {
+	for i := range m.Leads {
+		m.Leads[i].Arch.Corrupt = nil
+		if tr := m.Trails[i]; tr != nil {
+			tr.Arch.Corrupt = nil
+		}
+	}
+}
+
+// replay restores trial i's golden checkpoint into a pooled machine (or a
+// fresh build when the pool is empty), arms the fault, and replays the
+// suffix. RestoreState replaces all mutable simulated state, so a machine
+// that just finished another trial restores as cleanly as a fresh one; the
+// machine returns to the pool only after a successful trial.
+//
+// When the golden run is healthy, the replay also watches for convergence:
+// at the first checkpoint boundaries past the fire, the trial's state is
+// compared bytewise against the golden checkpoint at the same cycle. A
+// match proves the fault's effects have died out entirely — every later
+// cycle of the trial IS the golden run — so the trial ends immediately with
+// the masked outcome and the golden end cycle, exactly what simulating the
+// rest would produce.
+func (p *forkPrep) replay(spec sim.Spec, f Transient, i int) (Result, error) {
+	m, _ := p.pool.Get().(*sim.Machine)
+	if m == nil {
+		var err error
+		m, err = sim.Build(spec)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	clearCorruptHooks(m)
+	if err := m.RestoreState(p.checkpointFor(i)); err != nil {
+		return Result{}, err
+	}
+	m.OnCycle = nil
+	if p.detections == 0 && !p.haltDiverged[f.Logical] {
+		fire := p.fireIter[i]
+		checks := 0
+		m.OnCycle = func(cycle uint64) error {
+			if cycle%checkpointInterval != 0 || cycle <= fire || checks >= convergenceChecks {
+				return nil
+			}
+			gsnap := p.snaps[cycle]
+			if gsnap == nil || len(m.Detections()) > 0 {
+				return nil
+			}
+			checks++
+			eq, err := convergedWithGolden(m, f, gsnap)
+			if err != nil {
+				return err
+			}
+			if eq {
+				return errConverged
+			}
+			return nil
+		}
+	}
+	res, err := runArmed(m, f)
+	if errors.Is(err, errConverged) {
+		res = Result{Fault: f, Outcome: Masked, Cycles: p.endCycle}
+		err = nil
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	m.OnCycle = nil
+	p.pool.Put(m)
+	return res, nil
+}
+
+// convergedWithGolden reports whether the trial machine's state is
+// byte-identical to a golden checkpoint taken at the same cycle. The only
+// serialized field the replay harness itself perturbs is the victim pair's
+// Tolerant flag, so it is masked off for the comparison; everything else
+// must match bit-for-bit for convergence to hold.
+func convergedWithGolden(m *sim.Machine, f Transient, gsnap []byte) (bool, error) {
+	lead := m.Leads[f.Logical]
+	trail := m.Trails[f.Logical]
+	lt := lead.Arch.Tolerant
+	lead.Arch.Tolerant = false
+	var tt bool
+	if trail != nil {
+		tt = trail.Arch.Tolerant
+		trail.Arch.Tolerant = false
+	}
+	ts, err := m.Snapshot()
+	lead.Arch.Tolerant = lt
+	if trail != nil {
+		trail.Arch.Tolerant = tt
+	}
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(ts, gsnap), nil
 }
 
 // RunOne builds a machine for spec, injects the single fault, runs to
@@ -277,6 +626,12 @@ func RunOne(spec sim.Spec, f Transient) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return runArmed(m, f)
+}
+
+// runArmed arms f on a ready machine (fresh or restored), runs to detection
+// or completion, and classifies the outcome.
+func runArmed(m *sim.Machine, f Transient) (Result, error) {
 	fired, err := f.Arm(m)
 	if err != nil {
 		return Result{}, err

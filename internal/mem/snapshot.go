@@ -1,0 +1,95 @@
+package mem
+
+import (
+	"repro/internal/snap"
+	"repro/internal/stats"
+)
+
+// Snapshot support for the memory hierarchy. Geometry (set counts, ways,
+// block size, latencies) is configuration and is validated rather than
+// restored: RestoreFrom targets a cache freshly built from the same Config,
+// so only the replacement state, in-flight fills, way-predictor state, and
+// counters travel. Way order within a set IS the MRU order, so serializing
+// sets way-by-way reproduces replacement behavior exactly.
+
+// SnapshotTo writes the cache's mutable state.
+func (c *Cache) SnapshotTo(w *snap.Writer) {
+	w.U64(c.nsets)
+	w.Int(c.ways)
+	for _, set := range c.sets {
+		for _, l := range set {
+			w.U64(l.tag)
+			w.Bool(l.valid)
+			w.U64(l.readyAt)
+		}
+	}
+	for _, p := range c.predictedWay {
+		w.Int(p)
+	}
+	w.U64(c.Hits.Value())
+	w.U64(c.Misses.Value())
+	w.U64(c.WayMispredicts.Value())
+}
+
+// RestoreFrom reads state written by SnapshotTo into an identically
+// configured cache, latching a reader error on geometry mismatch.
+func (c *Cache) RestoreFrom(r *snap.Reader) {
+	if r.U64() != c.nsets || r.Int() != c.ways {
+		r.Failf("cache %q geometry mismatch", c.name)
+		return
+	}
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].tag = r.U64()
+			set[i].valid = r.Bool()
+			set[i].readyAt = r.U64()
+		}
+	}
+	for i := range c.predictedWay {
+		c.predictedWay[i] = r.Int()
+	}
+	c.Hits = stats.Counter(r.U64())
+	c.Misses = stats.Counter(r.U64())
+	c.WayMispredicts = stats.Counter(r.U64())
+}
+
+// SnapshotTo writes the flat memory's access counter.
+func (m *FlatMemory) SnapshotTo(w *snap.Writer) {
+	w.U64(m.Accesses.Value())
+}
+
+// RestoreFrom reads state written by SnapshotTo.
+func (m *FlatMemory) RestoreFrom(r *snap.Reader) {
+	m.Accesses = stats.Counter(r.U64())
+}
+
+// SnapshotTo writes the merge buffer's slots (slot identity matters: Accept
+// fills the first invalid slot, so position is behavior) and counters.
+func (m *MergeBuffer) SnapshotTo(w *snap.Writer) {
+	w.Int(len(m.slots))
+	for _, s := range m.slots {
+		w.U64(s.block)
+		w.U64(s.done)
+		w.Bool(s.valid)
+	}
+	w.Int(m.n)
+	w.U64(m.Coalesced.Value())
+	w.U64(m.Writes.Value())
+}
+
+// RestoreFrom reads state written by SnapshotTo into an identically sized
+// merge buffer.
+func (m *MergeBuffer) RestoreFrom(r *snap.Reader) {
+	if r.Int() != len(m.slots) {
+		r.Failf("merge buffer capacity mismatch")
+		return
+	}
+	for i := range m.slots {
+		m.slots[i].block = r.U64()
+		m.slots[i].done = r.U64()
+		m.slots[i].valid = r.Bool()
+	}
+	m.n = r.Int()
+	m.Coalesced = stats.Counter(r.U64())
+	m.Writes = stats.Counter(r.U64())
+}

@@ -114,7 +114,7 @@ type snapshot struct {
 	scratch [8192]uint64 // the whole 64 KB region
 }
 
-func snap(th *vm.Thread, memImg *vm.Memory) snapshot {
+func archSnap(th *vm.Thread, memImg *vm.Memory) snapshot {
 	var s snapshot
 	s.intReg = th.IntReg
 	s.fpReg = th.FPReg
@@ -185,7 +185,7 @@ func TestDifferentialBase(t *testing.T) {
 				t.Fatal(err)
 			}
 			memImg := ctxMemory(ctx)
-			got := snap(ctx.Arch, memImg)
+			got := archSnap(ctx.Arch, memImg)
 			compareSnapshots(t, "base", want, got)
 			if ctx.Arch.Mem.PendingBytes() != 0 {
 				t.Errorf("overlay not fully drained: %d bytes", ctx.Arch.Mem.PendingBytes())
@@ -230,10 +230,10 @@ func TestDifferentialSRT(t *testing.T) {
 				if !trail.Arch.Halted {
 					t.Fatal("trailing copy never reached HALT")
 				}
-				compareSnapshots(t, tag+"/lead", want, snap(lead.Arch, ctxMemory(lead)))
+				compareSnapshots(t, tag+"/lead", want, archSnap(lead.Arch, ctxMemory(lead)))
 				// The trailing copy's registers must match too (identical
 				// stream).
-				got := snap(trail.Arch, ctxMemory(trail))
+				got := archSnap(trail.Arch, ctxMemory(trail))
 				for r := 0; r < 32; r++ {
 					if want.intReg[r] != got.intReg[r] {
 						t.Errorf("%s/trail: R%d = %#x, want %#x", tag, r, got.intReg[r], want.intReg[r])
@@ -306,8 +306,8 @@ func TestDifferentialCRT(t *testing.T) {
 			if !trail.Arch.Halted {
 				t.Fatal("trailing copy never reached HALT")
 			}
-			compareSnapshots(t, "crt/lead", want, snap(lead.Arch, ctxMemory(lead)))
-			got := snap(trail.Arch, ctxMemory(trail))
+			compareSnapshots(t, "crt/lead", want, archSnap(lead.Arch, ctxMemory(lead)))
+			got := archSnap(trail.Arch, ctxMemory(trail))
 			for r := 0; r < 32; r++ {
 				if want.intReg[r] != got.intReg[r] {
 					t.Errorf("crt/trail: R%d = %#x, want %#x", r, got.intReg[r], want.intReg[r])

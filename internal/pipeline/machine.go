@@ -34,7 +34,18 @@ type Machine struct {
 	// WatchdogCycles overrides the per-core config watchdog when non-zero.
 	WatchdogCycles uint64
 
+	// OnCycle, when non-nil, runs at the top of every simulated cycle
+	// (before the cores step). A non-nil return aborts the run with that
+	// error. The snapshot engine hangs checkpoint capture off this hook.
+	OnCycle func(cycle uint64) error
+
 	Cycles uint64
+
+	// Watchdog progress state. Fields rather than Run locals so a restored
+	// machine resumes the deadlock countdown exactly where the snapshotted
+	// one left it.
+	wdLastProgress uint64
+	wdLastRetired  uint64
 
 	// ctxCache memoises allContexts: done() runs every cycle, and
 	// rebuilding the slice per call was a per-cycle allocation.
@@ -91,14 +102,20 @@ func (m *Machine) detected() bool {
 
 // Run simulates until every budgeted context commits its budget, maxCycles
 // elapse, or (with StopOnDetection) a fault is detected. It returns the
-// accumulated statistics.
+// accumulated statistics. Run continues from the machine's current cycle
+// count, so a freshly built machine starts at cycle 0 and a restored one
+// resumes mid-flight.
 func (m *Machine) Run(maxCycles uint64) (*stats.RunStats, error) {
 	watchdog := m.WatchdogCycles
 	if watchdog == 0 && len(m.Cores) > 0 {
 		watchdog = m.Cores[0].cfg.WatchdogCycles
 	}
-	var lastProgress, lastRetired uint64
-	for m.Cycles = 0; m.Cycles < maxCycles; m.Cycles++ {
+	for ; m.Cycles < maxCycles; m.Cycles++ {
+		if m.OnCycle != nil {
+			if err := m.OnCycle(m.Cycles); err != nil {
+				return m.stats(), err
+			}
+		}
 		for _, co := range m.Cores {
 			co.Step()
 		}
@@ -114,10 +131,10 @@ func (m *Machine) Run(maxCycles uint64) (*stats.RunStats, error) {
 		for _, co := range m.Cores {
 			retired += co.Retired
 		}
-		if retired > lastRetired {
-			lastRetired = retired
-			lastProgress = m.Cycles
-		} else if watchdog > 0 && m.Cycles-lastProgress > watchdog {
+		if retired > m.wdLastRetired {
+			m.wdLastRetired = retired
+			m.wdLastProgress = m.Cycles
+		} else if watchdog > 0 && m.Cycles-m.wdLastProgress > watchdog {
 			return m.stats(), &DeadlockError{Cycle: m.Cycles, Dump: m.dump()}
 		}
 	}

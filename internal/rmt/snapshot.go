@@ -1,0 +1,254 @@
+package rmt
+
+import (
+	"repro/internal/snap"
+	"repro/internal/stats"
+)
+
+// Snapshot support for the redundant-pair structures. Slot positions are
+// behavior here — LVQ.Push fills the first free slot, the store comparator
+// grows to a high-water mark and reuses slots — so every array is restored
+// slot-for-slot at its snapshotted length, not repacked.
+
+func writeChunk(w *snap.Writer, c *Chunk) {
+	w.U64(c.StartPC)
+	w.Int(c.Count)
+	for _, b := range c.UpperHalf {
+		w.Bool(b)
+	}
+	for _, f := range c.FUs {
+		w.U64(uint64(f))
+	}
+	w.U64(c.ReadyAt)
+	for _, t := range c.LoadTags {
+		w.U64(t)
+	}
+	for _, t := range c.StoreTags {
+		w.U64(t)
+	}
+}
+
+func readChunk(r *snap.Reader, c *Chunk) {
+	c.StartPC = r.U64()
+	c.Count = r.Int()
+	for i := range c.UpperHalf {
+		c.UpperHalf[i] = r.Bool()
+	}
+	for i := range c.FUs {
+		c.FUs[i] = uint8(r.U64())
+	}
+	c.ReadyAt = r.U64()
+	for i := range c.LoadTags {
+		c.LoadTags[i] = r.U64()
+	}
+	for i := range c.StoreTags {
+		c.StoreTags[i] = r.U64()
+	}
+}
+
+func writeStoreRecords(w *snap.Writer, slots []StoreRecord) {
+	w.U64(uint64(len(slots)))
+	for _, s := range slots {
+		w.U64(s.Tag)
+		w.U64(s.Addr)
+		w.Int(s.Size)
+		w.U64(s.Value)
+		w.U64(s.ReadyAt)
+	}
+}
+
+func readStoreRecords(r *snap.Reader) []StoreRecord {
+	n := r.Count(40)
+	if n == 0 {
+		return nil
+	}
+	slots := make([]StoreRecord, n)
+	for i := range slots {
+		slots[i] = StoreRecord{
+			Tag:     r.U64(),
+			Addr:    r.U64(),
+			Size:    r.Int(),
+			Value:   r.U64(),
+			ReadyAt: r.U64(),
+		}
+	}
+	return slots
+}
+
+// SnapshotTo writes the LVQ's slot array (slot-for-slot) and counters.
+func (q *LVQ) SnapshotTo(w *snap.Writer) {
+	w.U64(uint64(len(q.entries)))
+	for _, e := range q.entries {
+		w.U64(e.Tag)
+		w.U64(e.Addr)
+		w.Int(e.Size)
+		w.U64(e.Value)
+		w.U64(e.ReadyAt)
+	}
+	w.Int(q.n)
+	w.U64(q.lastPushed)
+	w.U64(q.Pushes.Value())
+	w.U64(q.FullStalls.Value())
+	w.U64(q.Waits.Value())
+	w.U64(q.AddrMismatches.Value())
+}
+
+// RestoreFrom reads state written by SnapshotTo into an LVQ of the same
+// capacity.
+func (q *LVQ) RestoreFrom(r *snap.Reader) {
+	if int(r.U64()) != len(q.entries) {
+		r.Failf("LVQ capacity mismatch")
+		return
+	}
+	for i := range q.entries {
+		q.entries[i] = LVQEntry{
+			Tag:     r.U64(),
+			Addr:    r.U64(),
+			Size:    r.Int(),
+			Value:   r.U64(),
+			ReadyAt: r.U64(),
+		}
+	}
+	q.n = r.Int()
+	q.lastPushed = r.U64()
+	q.Pushes = stats.Counter(r.U64())
+	q.FullStalls = stats.Counter(r.U64())
+	q.Waits = stats.Counter(r.U64())
+	q.AddrMismatches = stats.Counter(r.U64())
+}
+
+// SnapshotTo writes the LPQ ring contents and head/tail state.
+func (q *LPQ) SnapshotTo(w *snap.Writer) {
+	w.Int(q.capacity)
+	for i := range q.buf {
+		writeChunk(w, &q.buf[i])
+	}
+	w.Int(q.head)
+	w.Int(q.active)
+	w.Int(q.tail)
+	w.Int(q.n)
+	w.U64(q.Pushes.Value())
+	w.U64(q.Rollbacks.Value())
+	w.U64(q.FullStalls.Value())
+}
+
+// RestoreFrom reads state written by SnapshotTo into an LPQ of the same
+// capacity.
+func (q *LPQ) RestoreFrom(r *snap.Reader) {
+	if r.Int() != q.capacity {
+		r.Failf("LPQ capacity mismatch")
+		return
+	}
+	for i := range q.buf {
+		readChunk(r, &q.buf[i])
+	}
+	q.head = r.Int()
+	q.active = r.Int()
+	q.tail = r.Int()
+	q.n = r.Int()
+	q.Pushes = stats.Counter(r.U64())
+	q.Rollbacks = stats.Counter(r.U64())
+	q.FullStalls = stats.Counter(r.U64())
+}
+
+// SnapshotTo writes the aggregator's in-progress chunk. The LPQ link is
+// wiring and stays with the rebuilt machine.
+func (a *Aggregator) SnapshotTo(w *snap.Writer) {
+	writeChunk(w, &a.cur)
+	w.Bool(a.started)
+	w.U64(a.nextPC)
+	w.U64(a.ForcedTerminations.Value())
+}
+
+// RestoreFrom reads state written by SnapshotTo.
+func (a *Aggregator) RestoreFrom(r *snap.Reader) {
+	readChunk(r, &a.cur)
+	a.started = r.Bool()
+	a.nextPC = r.U64()
+	a.ForcedTerminations = stats.Counter(r.U64())
+}
+
+// SnapshotTo writes both comparator sides slot-for-slot (the arrays have
+// grown to their high-water marks; repacking would change future slot
+// assignment) and the counters.
+func (c *StoreComparator) SnapshotTo(w *snap.Writer) {
+	writeStoreRecords(w, c.lead)
+	writeStoreRecords(w, c.trail)
+	w.Int(c.nLead)
+	w.Int(c.nTrail)
+	w.U64(c.Comparisons.Value())
+	w.U64(c.Mismatches.Value())
+}
+
+// RestoreFrom reads state written by SnapshotTo.
+func (c *StoreComparator) RestoreFrom(r *snap.Reader) {
+	c.lead = readStoreRecords(r)
+	c.trail = readStoreRecords(r)
+	c.nLead = r.Int()
+	c.nTrail = r.Int()
+	c.Comparisons = stats.Counter(r.U64())
+	c.Mismatches = stats.Counter(r.U64())
+}
+
+// SnapshotTo writes the pair's mutable coupling state: tag counters, the
+// interrupt replication schedule, detections, statistics, and the four
+// owned queue structures. Identity and latency fields are configuration.
+func (p *Pair) SnapshotTo(w *snap.Writer) {
+	w.U64(p.LeadCommitted)
+	w.U64(uint64(len(p.InterruptSchedule)))
+	for _, v := range p.InterruptSchedule {
+		w.U64(v)
+	}
+	w.Int(p.TrailInterruptIdx)
+	w.U64(p.leadLoadTag)
+	w.U64(p.trailLoadTag)
+	w.U64(p.leadStoreTag)
+	w.U64(p.trailStoreTag)
+	w.U64(p.PairsObserved.Value())
+	w.U64(p.SameHalf.Value())
+	w.U64(p.SameFU.Value())
+	w.U64(uint64(len(p.Detected)))
+	for _, m := range p.Detected {
+		w.U64(m.Tag)
+		w.U64(m.LeadAddr)
+		w.U64(m.TrailAddr)
+		w.U64(m.LeadValue)
+		w.U64(m.TrailValue)
+	}
+	p.LVQ.SnapshotTo(w)
+	p.LPQ.SnapshotTo(w)
+	p.Agg.SnapshotTo(w)
+	p.Cmp.SnapshotTo(w)
+}
+
+// RestoreFrom reads state written by SnapshotTo into an identically
+// configured pair.
+func (p *Pair) RestoreFrom(r *snap.Reader) {
+	p.LeadCommitted = r.U64()
+	n := r.Count(8)
+	p.InterruptSchedule = p.InterruptSchedule[:0]
+	for i := 0; i < n; i++ {
+		p.InterruptSchedule = append(p.InterruptSchedule, r.U64())
+	}
+	p.TrailInterruptIdx = r.Int()
+	p.leadLoadTag = r.U64()
+	p.trailLoadTag = r.U64()
+	p.leadStoreTag = r.U64()
+	p.trailStoreTag = r.U64()
+	p.PairsObserved = stats.Counter(r.U64())
+	p.SameHalf = stats.Counter(r.U64())
+	p.SameFU = stats.Counter(r.U64())
+	nd := r.Count(40)
+	p.Detected = p.Detected[:0]
+	for i := 0; i < nd; i++ {
+		p.Detected = append(p.Detected, &Mismatch{
+			Tag:      r.U64(),
+			LeadAddr: r.U64(), TrailAddr: r.U64(),
+			LeadValue: r.U64(), TrailValue: r.U64(),
+		})
+	}
+	p.LVQ.RestoreFrom(r)
+	p.LPQ.RestoreFrom(r)
+	p.Agg.RestoreFrom(r)
+	p.Cmp.RestoreFrom(r)
+}

@@ -333,7 +333,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveCached(w, r, &s.run, key, func() ([]byte, error) {
-		res, err := rmt.Run(req.toSpec(mode), rmt.WithBudget(req.Budget), rmt.WithWarmup(req.Warmup))
+		res, err := rmt.Run(r.Context(), req.toSpec(mode), rmt.WithBudget(req.Budget), rmt.WithWarmup(req.Warmup))
 		if err != nil {
 			return nil, err
 		}
@@ -354,7 +354,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveCached(w, r, &s.sweep, key, func() ([]byte, error) {
-		results, err := rmt.Sweep(specs,
+		results, err := rmt.Sweep(r.Context(), specs,
 			rmt.WithBudget(req.Budget), rmt.WithWarmup(req.Warmup),
 			rmt.WithParallelism(s.cfg.SimParallelism))
 		if err != nil {

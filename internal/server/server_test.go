@@ -52,7 +52,7 @@ func runBody(mode, prog string, budget, warmup uint64) string {
 
 func TestRunByteEqualsDirect(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	direct, err := rmt.Run(rmt.Spec{Mode: rmt.SRT, Programs: []string{"gcc"}},
+	direct, err := rmt.Run(context.Background(), rmt.Spec{Mode: rmt.SRT, Programs: []string{"gcc"}},
 		rmt.WithBudget(tBudget), rmt.WithWarmup(tWarmup))
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestSweepByteEqualsDirect(t *testing.T) {
 		{Mode: rmt.Base, Programs: []string{"compress"}},
 		{Mode: rmt.SRT, Programs: []string{"compress"}, PSR: true},
 	}
-	direct, err := rmt.Sweep(specs, rmt.WithBudget(tBudget), rmt.WithWarmup(tWarmup))
+	direct, err := rmt.Sweep(context.Background(), specs, rmt.WithBudget(tBudget), rmt.WithWarmup(tWarmup))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -592,7 +592,7 @@ func TestClientHelpersRoundTrip(t *testing.T) {
 	}
 
 	spec := rmt.Spec{Mode: rmt.SRT, Programs: []string{"li"}, PSR: true}
-	direct, err := rmt.Run(spec, rmt.WithBudget(tBudget), rmt.WithWarmup(tWarmup))
+	direct, err := rmt.Run(context.Background(), spec, rmt.WithBudget(tBudget), rmt.WithWarmup(tWarmup))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -608,7 +608,7 @@ func TestClientHelpersRoundTrip(t *testing.T) {
 		{Mode: rmt.Base, Programs: []string{"li"}},
 		{Mode: rmt.SRT, Programs: []string{"li"}},
 	}
-	directSweep, err := rmt.Sweep(specs, rmt.WithBudget(tBudget), rmt.WithWarmup(tWarmup))
+	directSweep, err := rmt.Sweep(context.Background(), specs, rmt.WithBudget(tBudget), rmt.WithWarmup(tWarmup))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -629,6 +629,22 @@ func TestClientHelpersRoundTrip(t *testing.T) {
 	}
 	if sum.Runs != 3 || len(sum.Outcomes) != 3 {
 		t.Fatalf("campaign summary %+v, want 3 runs with 3 outcomes", sum)
+	}
+
+	// The Runner seam: the identical campaign through the in-process
+	// engine and through the daemon client yields the identical summary,
+	// so call sites can swap backends freely.
+	for _, rn := range []rmt.Runner{rmt.Local{}, c} {
+		got, err := rn.Campaign(ctx, rmt.CampaignSpec{
+			Spec: rmt.Spec{Mode: rmt.SRT, Programs: []string{"compress"}, PSR: true},
+			N:    3, Seed: 11,
+		}, rmt.WithBudget(3000), rmt.WithWarmup(1000))
+		if err != nil {
+			t.Fatalf("Runner %T Campaign: %v", rn, err)
+		}
+		if !reflect.DeepEqual(got, sum) {
+			t.Fatalf("Runner %T campaign summary differs:\ngot  %+v\nwant %+v", rn, got, sum)
+		}
 	}
 
 	mb, err := c.Metrics(ctx)

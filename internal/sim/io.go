@@ -18,15 +18,16 @@ type ioBridge struct {
 	vals  []uint64
 }
 
-// wireIO connects a logical program's contexts to its pseudo-device.
-// Non-redundant contexts read and write the device directly; redundant
-// pairs route reads through the bridge and perform writes once, from the
-// leading side, after output comparison.
-func wireIO(dev *vm.PseudoDevice, pair *rmt.Pair, lead, trail *pipeline.Context) {
+// wireIO connects a logical program's contexts to its pseudo-device and
+// returns the replication bridge (nil for non-redundant contexts, which
+// read and write the device directly). Redundant pairs route reads through
+// the bridge and perform writes once, from the leading side, after output
+// comparison.
+func wireIO(dev *vm.PseudoDevice, pair *rmt.Pair, lead, trail *pipeline.Context) *ioBridge {
 	if trail == nil {
 		lead.Arch.IORead = dev.Read
 		lead.IOWrite = dev.Write
-		return
+		return nil
 	}
 	br := &ioBridge{}
 	lead.Arch.IORead = func(addr uint64) uint64 {
@@ -51,4 +52,5 @@ func wireIO(dev *vm.PseudoDevice, pair *rmt.Pair, lead, trail *pipeline.Context)
 		return v
 	}
 	lead.IOWrite = dev.Write
+	return br
 }

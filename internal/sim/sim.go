@@ -109,6 +109,15 @@ type Machine struct {
 	// Events, when non-nil, is the structured event log attached by
 	// EnableTrace.
 	Events *trace.EventLog
+
+	// bridges holds each logical program's uncached-load replication bridge
+	// (nil entries for non-redundant modes), indexed like Leads. Snapshots
+	// capture its queued (addr, value) stream.
+	bridges []*ioBridge
+
+	// snapHint remembers the last snapshot's encoded size so the next one
+	// preallocates its buffer instead of growing into it.
+	snapHint int
 }
 
 // Build assembles the machine described by spec.
@@ -206,7 +215,7 @@ func Build(spec Spec) (*Machine, error) {
 		if i < len(m.Pairs) {
 			pair = m.Pairs[i]
 		}
-		wireIO(dev, pair, m.Leads[i], m.Trails[i])
+		m.bridges = append(m.bridges, wireIO(dev, pair, m.Leads[i], m.Trails[i]))
 	}
 	return m, nil
 }

@@ -38,6 +38,13 @@ func (m *Mean) Add(v float64) {
 // N returns the sample count.
 func (m *Mean) N() uint64 { return m.n }
 
+// State exposes the accumulator internals for external serialization
+// (machine-state snapshots). MeanFromState is its inverse.
+func (m Mean) State() (n uint64, sum float64) { return m.n, m.sum }
+
+// MeanFromState rebuilds a Mean from State's components.
+func MeanFromState(n uint64, sum float64) Mean { return Mean{n: n, sum: sum} }
+
 // Value returns the mean (0 for no samples).
 func (m *Mean) Value() float64 {
 	if m.n == 0 {

@@ -1,0 +1,131 @@
+package vm
+
+import (
+	"sort"
+
+	"repro/internal/snap"
+)
+
+// Snapshot support for the functional substrate. Each method writes the
+// receiver's mutable state to a snap.Writer in a fixed field order (map-backed
+// state in sorted key order, so identical machine state always encodes to
+// identical bytes) and the matching RestoreFrom reads it back. Wiring —
+// the Overlay→Memory link, a Thread's Corrupt/IORead hooks, its Prog — is
+// not serialized: restore targets a freshly built machine that already has
+// the static structure in place.
+
+// SnapshotTo writes the committed memory image: resident pages in ascending
+// page-number order.
+func (m *Memory) SnapshotTo(w *snap.Writer) {
+	nums := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		nums = append(nums, pn)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	w.U64(uint64(len(nums)))
+	for _, pn := range nums {
+		w.U64(pn)
+		w.Bytes(m.pages[pn][:])
+	}
+}
+
+// RestoreFrom replaces the memory image with the snapshot's pages.
+func (m *Memory) RestoreFrom(r *snap.Reader) {
+	n := r.Count(16)
+	m.pages = make(map[uint64]*page, n)
+	for i := 0; i < n; i++ {
+		pn := r.U64()
+		b := r.Bytes()
+		if len(b) != pageSize {
+			continue // sticky reader error already latched on truncation
+		}
+		p := new(page)
+		copy(p[:], b)
+		m.pages[pn] = p
+	}
+}
+
+// SnapshotTo writes the overlay's pending store bytes in ascending address
+// order. The backing Memory is shared between threads and serialized once
+// by the machine layer, not here.
+func (o *Overlay) SnapshotTo(w *snap.Writer) {
+	addrs := make([]uint64, 0, len(o.pending))
+	for a := range o.pending {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	w.U64(uint64(len(addrs)))
+	for _, a := range addrs {
+		b := o.pending[a]
+		w.U64(a)
+		w.U64(uint64(b.val))
+		w.U64(b.seq)
+	}
+}
+
+// RestoreFrom replaces the pending byte set, leaving the backing Memory
+// link untouched.
+func (o *Overlay) RestoreFrom(r *snap.Reader) {
+	n := r.Count(24)
+	o.pending = make(map[uint64]overlayByte, n)
+	for i := 0; i < n; i++ {
+		a := r.U64()
+		val := byte(r.U64())
+		seq := r.U64()
+		o.pending[a] = overlayByte{val: val, seq: seq}
+	}
+}
+
+// SnapshotTo writes the thread's architectural state and its overlay's
+// pending bytes. Prog, Corrupt, and IORead are wiring and stay with the
+// rebuilt machine.
+func (t *Thread) SnapshotTo(w *snap.Writer) {
+	w.U64(t.PC)
+	for _, v := range t.IntReg {
+		w.U64(v)
+	}
+	for _, v := range t.FPReg {
+		w.U64(v)
+	}
+	w.U64(t.Seq)
+	w.Bool(t.Halted)
+	w.Bool(t.Tolerant)
+	t.Mem.SnapshotTo(w)
+}
+
+// RestoreFrom reads state written by SnapshotTo.
+func (t *Thread) RestoreFrom(r *snap.Reader) {
+	t.PC = r.U64()
+	for i := range t.IntReg {
+		t.IntReg[i] = r.U64()
+	}
+	for i := range t.FPReg {
+		t.FPReg[i] = r.U64()
+	}
+	t.Seq = r.U64()
+	t.Halted = r.Bool()
+	t.Tolerant = r.Bool()
+	t.Mem.RestoreFrom(r)
+}
+
+// SnapshotTo writes the device's counter state and write log.
+func (d *PseudoDevice) SnapshotTo(w *snap.Writer) {
+	w.U64(d.state)
+	w.U64(d.Reads)
+	w.U64(uint64(len(d.WriteLog)))
+	for _, rec := range d.WriteLog {
+		w.U64(rec.Addr)
+		w.U64(rec.Val)
+	}
+}
+
+// RestoreFrom reads state written by SnapshotTo.
+func (d *PseudoDevice) RestoreFrom(r *snap.Reader) {
+	d.state = r.U64()
+	d.Reads = r.U64()
+	n := r.Count(16)
+	d.WriteLog = make([]IOWriteRecord, n)
+	for i := 0; i < n; i++ {
+		d.WriteLog[i] = IOWriteRecord{Addr: r.U64(), Val: r.U64()}
+	}
+}

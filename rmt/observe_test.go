@@ -2,6 +2,7 @@ package rmt
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 )
@@ -20,7 +21,7 @@ func observedSpecs() []Spec {
 // whether the sweep ran on 1 worker or 8.
 func TestObservabilityParallelismInvariant(t *testing.T) {
 	run := func(parallel int) []*Result {
-		res, err := Sweep(observedSpecs(),
+		res, err := Sweep(context.Background(), observedSpecs(),
 			WithBudget(1500), WithWarmup(800),
 			WithMetrics(), WithTrace(0),
 			WithParallelism(parallel))
@@ -50,7 +51,7 @@ func TestObservabilityParallelismInvariant(t *testing.T) {
 // TestObservabilityArtifactsWellFormed checks the exports parse as JSON and
 // the trace is in Chrome trace_event shape (Perfetto-loadable).
 func TestObservabilityArtifactsWellFormed(t *testing.T) {
-	res, err := Run(Spec{Mode: SRT, PSR: true, Programs: []string{"gcc"}},
+	res, err := Run(context.Background(), Spec{Mode: SRT, PSR: true, Programs: []string{"gcc"}},
 		WithBudget(1500), WithWarmup(800), WithMetrics(), WithTrace(0))
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestObservabilityArtifactsWellFormed(t *testing.T) {
 	}
 
 	// Without the options, artifacts stay absent (and cost nothing).
-	plain, err := Run(Spec{Mode: SRT, PSR: true, Programs: []string{"gcc"}},
+	plain, err := Run(context.Background(), Spec{Mode: SRT, PSR: true, Programs: []string{"gcc"}},
 		WithBudget(1500), WithWarmup(800))
 	if err != nil {
 		t.Fatal(err)

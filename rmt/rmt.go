@@ -6,20 +6,26 @@
 // A simulation is described by a Spec (which machine, which programs) and
 // sized by functional options:
 //
-//	res, err := rmt.Run(
+//	res, err := rmt.Run(ctx,
 //		rmt.Spec{Mode: rmt.SRT, PSR: true, Programs: []string{"gcc"}},
 //		rmt.WithBudget(30000), rmt.WithWarmup(20000))
 //
 // Sweeps of independent specs run in parallel and return results in input
 // order, so output built from them is deterministic at any parallelism:
 //
-//	results, err := rmt.Sweep(specs, rmt.WithParallelism(4))
+//	results, err := rmt.Sweep(ctx, specs, rmt.WithParallelism(4))
+//
+// Run, Sweep and Campaign are also available behind the Runner interface,
+// satisfied both by the in-process engine (Local) and by Client (a remote
+// rmtd daemon), so tools and tests can swap execution backends without
+// changing call sites.
 //
 // The paper's tables and figures are exposed through Experiments().
 package rmt
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -118,6 +124,10 @@ type config struct {
 	metrics     bool
 	trace       bool
 	traceCap    int
+
+	checkpointEvery uint64
+	checkpointSink  func(cycle uint64, snapshot []byte) error
+	resume          []byte
 }
 
 // Default sizes for Run/Sweep/BaseIPC when no WithBudget/WithWarmup option
@@ -194,6 +204,28 @@ func WithTrace(cap int) Option {
 	}
 }
 
+// WithCheckpoint serializes the complete machine state every `every`
+// cycles and hands each snapshot to sink. A snapshot restored with Resume
+// (under the same Spec and sizing options) continues the run with
+// cycle-identical results to the uninterrupted simulation. sink errors
+// abort the run and are returned verbatim, so a caller's sentinel survives
+// errors.Is; every == 0 disables checkpointing. Local engine only: the
+// option is ignored by Client.
+func WithCheckpoint(every uint64, sink func(cycle uint64, snapshot []byte) error) Option {
+	return func(c *config) {
+		c.checkpointEvery = every
+		c.checkpointSink = sink
+	}
+}
+
+// Resume makes Run continue from a snapshot produced by WithCheckpoint
+// instead of starting fresh. The caller must pass the same Spec and sizing
+// options the snapshot was taken under; mismatched machine geometry is
+// rejected. Local engine only.
+func Resume(snapshot []byte) Option {
+	return func(c *config) { c.resume = snapshot }
+}
+
 // Report describes how a sweep spent its time.
 type Report struct {
 	// Jobs is the number of independent simulations; Parallelism the
@@ -258,20 +290,22 @@ type Result struct {
 	TraceJSON []byte
 }
 
-// Run executes the single simulation described by spec.
-func Run(spec Spec, opts ...Option) (*Result, error) {
-	return runOne(spec, newConfig(opts))
+// Run executes the single simulation described by spec. Cancelling ctx
+// aborts the run between simulated cycles with the context's error.
+func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
+	return runOne(ctx, spec, newConfig(opts))
 }
 
 // Sweep executes the independent simulations described by specs across a
 // worker pool and returns their results in input order — byte-identical
-// assembly at any parallelism. The first failure cancels unstarted jobs.
-func Sweep(specs []Spec, opts ...Option) ([]*Result, error) {
+// assembly at any parallelism. The first failure cancels unstarted jobs;
+// cancelling ctx aborts running simulations between simulated cycles.
+func Sweep(ctx context.Context, specs []Spec, opts ...Option) ([]*Result, error) {
 	c := newConfig(opts)
 	jobs := make([]func() (*Result, error), len(specs))
 	for i := range specs {
 		s := specs[i]
-		jobs[i] = func() (*Result, error) { return runOne(s, c) }
+		jobs[i] = func() (*Result, error) { return runOne(ctx, s, c) }
 	}
 	results, rep, err := runner.Run(jobs, runner.Options{Parallelism: c.parallelism, Progress: c.progress})
 	if c.report != nil {
@@ -283,7 +317,7 @@ func Sweep(specs []Spec, opts ...Option) ([]*Result, error) {
 // BaseIPC runs each named program alone on the unprotected base machine —
 // the SMT-Efficiency denominator — fanning the reference runs across
 // workers.
-func BaseIPC(programs []string, opts ...Option) (map[string]float64, error) {
+func BaseIPC(ctx context.Context, programs []string, opts ...Option) (map[string]float64, error) {
 	var names []string
 	seen := map[string]bool{}
 	for _, n := range programs {
@@ -296,7 +330,7 @@ func BaseIPC(programs []string, opts ...Option) (map[string]float64, error) {
 	for i, n := range names {
 		specs[i] = Spec{Mode: Base, Programs: []string{n}}
 	}
-	results, err := Sweep(specs, opts...)
+	results, err := Sweep(ctx, specs, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -320,13 +354,13 @@ func Parallelism(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func runOne(spec Spec, c config) (*Result, error) {
+func runOne(ctx context.Context, spec Spec, c config) (*Result, error) {
 	im, err := spec.Mode.internal()
 	if err != nil {
 		return nil, err
 	}
 	budget, warmup := c.sizes()
-	m, err := sim.Build(sim.Spec{
+	simSpec := sim.Spec{
 		Mode:              im,
 		Programs:          spec.Programs,
 		Budget:            budget,
@@ -336,7 +370,13 @@ func runOne(spec Spec, c config) (*Result, error) {
 		PerThreadSQ:       spec.PerThreadSQ,
 		NoStoreComparison: spec.NoStoreComparison,
 		CheckerLatency:    spec.CheckerLatency,
-	})
+	}
+	var m *sim.Machine
+	if c.resume != nil {
+		m, err = sim.Restore(simSpec, c.resume)
+	} else {
+		m, err = sim.Build(simSpec)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +385,24 @@ func runOne(spec Spec, c config) (*Result, error) {
 	}
 	if c.trace {
 		m.EnableTrace(c.traceCap)
+	}
+	if ctx.Done() != nil || c.checkpointEvery > 0 {
+		every, sink := c.checkpointEvery, c.checkpointSink
+		m.OnCycle = func(cycle uint64) error {
+			if cycle&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if every > 0 && cycle > 0 && cycle%every == 0 {
+				snap, err := m.Snapshot()
+				if err != nil {
+					return err
+				}
+				return sink(cycle, snap)
+			}
+			return nil
+		}
 	}
 	rs, err := m.Run()
 	if err != nil {

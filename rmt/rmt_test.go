@@ -1,6 +1,7 @@
 package rmt
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ func testOpts(extra ...Option) []Option {
 // TestRunSRT: the facade runs a redundant pair end to end and surfaces the
 // sphere-of-replication activity without any internal imports.
 func TestRunSRT(t *testing.T) {
-	res, err := Run(Spec{Mode: SRT, PSR: true, Programs: []string{"gcc"}}, testOpts()...)
+	res, err := Run(context.Background(), Spec{Mode: SRT, PSR: true, Programs: []string{"gcc"}}, testOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestRunSRT(t *testing.T) {
 
 // TestRunBaseHasNoChecks: non-redundant modes expose no pair activity.
 func TestRunBaseHasNoChecks(t *testing.T) {
-	res, err := Run(Spec{Mode: Base, Programs: []string{"compress"}}, testOpts()...)
+	res, err := Run(context.Background(), Spec{Mode: Base, Programs: []string{"compress"}}, testOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestSweepOrderingAndReport(t *testing.T) {
 	}
 	var rep Report
 	var lastDone int
-	results, err := Sweep(specs, testOpts(
+	results, err := Sweep(context.Background(), specs, testOpts(
 		WithParallelism(3),
 		WithProgress(func(done, total int) { lastDone = done }),
 		WithReport(func(r Report) { rep = r }))...)
@@ -88,11 +89,11 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 		{Mode: SRT, PSR: true, Programs: []string{"li"}},
 		{Mode: CRT, PSR: true, Programs: []string{"gcc", "swim"}},
 	}
-	serial, err := Sweep(specs, testOpts(WithParallelism(1))...)
+	serial, err := Sweep(context.Background(), specs, testOpts(WithParallelism(1))...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Sweep(specs, testOpts(WithParallelism(4))...)
+	parallel, err := Sweep(context.Background(), specs, testOpts(WithParallelism(4))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 
 // TestBaseIPC: reference runs come back keyed by kernel, deduplicated.
 func TestBaseIPC(t *testing.T) {
-	got, err := BaseIPC([]string{"gcc", "swim", "gcc"}, testOpts()...)
+	got, err := BaseIPC(context.Background(), []string{"gcc", "swim", "gcc"}, testOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestModeRoundTrip(t *testing.T) {
 	if _, err := ParseMode("bogus"); err == nil {
 		t.Error("ParseMode accepted bogus input")
 	}
-	if _, err := Run(Spec{Mode: Mode(99), Programs: []string{"gcc"}}, testOpts()...); err == nil {
+	if _, err := Run(context.Background(), Spec{Mode: Mode(99), Programs: []string{"gcc"}}, testOpts()...); err == nil {
 		t.Error("Run accepted an unknown mode")
 	}
 }
