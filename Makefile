@@ -6,12 +6,20 @@ verify:
 race:
 	go test -race ./...
 
-# Static analysis: go vet plus rmtlint (determinism/layering/shared-state
-# analyzers over the Go sources, then the program verifier over every
-# registered kernel).
+# Static analysis: go vet plus rmtlint (determinism/layering/shared-state/
+# snapshot/snapshot-completeness analyzers and stale-directive detection
+# over every package of the module — internal/, cmd/ and examples/ alike —
+# then the program verifier over every registered kernel).
 lint:
 	go vet ./...
 	go run ./cmd/rmtlint ./...
+
+# Acceptance gate for the static ACE analysis: every statically-masked
+# injection site must be dynamically confirmed Masked (randomized
+# cross-validation over all kernels plus one targeted injection per site),
+# and a pruned campaign must be byte-identical to the unpruned one.
+crossval:
+	go test ./internal/fault/ -run 'TestPrunedCampaignByteIdentical|TestStaticMaskingCrossValidation|TestStaticMaskedSitesExhaustive' -count=1 -v
 
 # Quick end-to-end check of the parallel sweep engine: regenerate the
 # evaluation at cut-down sizes across 4 workers.
@@ -89,10 +97,21 @@ bench-campaign:
 	go test -run '^$$' -bench BenchmarkCampaign_ForkOnFault -benchtime 3x . | tee /tmp/rmt.campaign.fork.out
 	go run ./cmd/benchjson -o BENCH_5.json -role current /tmp/rmt.campaign.fork.out
 
+# Static-pruning speedup artifact: the same fork-on-fault campaign on
+# kernels with statically-masked sites, without pruning (baseline) and with
+# PruneStaticallyMasked (current), recorded as BENCH_6.json. The summaries
+# are byte-identical (TestPrunedCampaignByteIdentical), so the ns/op ratio
+# is the replay work the static ACE analysis saves.
+bench-campaign-prune:
+	go test -run '^$$' -bench BenchmarkCampaign_StaticPruning -benchtime 3x . | tee /tmp/rmt.campaign.noprune.out
+	go run ./cmd/benchjson -o BENCH_6.json -role baseline /tmp/rmt.campaign.noprune.out
+	RMT_CAMPAIGN_PRUNE=1 go test -run '^$$' -bench BenchmarkCampaign_StaticPruning -benchtime 3x . | tee /tmp/rmt.campaign.prune.out
+	go run ./cmd/benchjson -o BENCH_6.json -role current /tmp/rmt.campaign.prune.out
+
 # CI-sized performance gate: every benchmark must still run (one iteration
 # at -short sizes), and a warm simulator must allocate nothing per cycle.
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x -short .
 	go test ./internal/sim/ -run TestSteadyStateAllocs -count=1
 
-.PHONY: verify race lint smoke determinism cover fuzz bench-json bench-campaign bench-smoke serve-smoke
+.PHONY: verify race lint crossval smoke determinism cover fuzz bench-json bench-campaign bench-campaign-prune bench-smoke serve-smoke

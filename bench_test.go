@@ -137,6 +137,39 @@ func BenchmarkCampaign_ForkOnFault(b *testing.B) {
 	b.ReportMetric(float64(total), "simcycles")
 }
 
+// BenchmarkCampaign_StaticPruning measures the same serial fork-on-fault
+// campaign on gcc+li — the kernels whose vulnerability profiles carry
+// statically-masked sites — without pruning by default, and with
+// PruneStaticallyMasked when RMT_CAMPAIGN_PRUNE=1. The two runs produce
+// byte-identical summaries (internal/fault's TestPrunedCampaignByteIdentical),
+// so the ns/op ratio — recorded in BENCH_6.json with the unpruned run as
+// "baseline" and the pruned run as "current" — is the pure replay work the
+// static ACE analysis saves; the pruned metric reports how many trials it
+// claimed.
+func BenchmarkCampaign_StaticPruning(b *testing.B) {
+	p := benchParams(b)
+	spec := sim.Spec{
+		Mode: sim.ModeSRT, Programs: []string{"gcc", "li"},
+		Budget: 2 * p.Budget, Warmup: p.Warmup,
+		Config: pipeline.DefaultConfig(), PSR: true,
+	}
+	opts := fault.CampaignOptions{Parallelism: 1}
+	opts.PruneStaticallyMasked = os.Getenv("RMT_CAMPAIGN_PRUNE") == "1"
+	var pstats fault.PruneStats
+	opts.PruneStats = &pstats
+	var total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := fault.CampaignParallel(spec, 96, 0xF00D, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = sum.TotalCycles
+	}
+	b.ReportMetric(float64(total), "simcycles")
+	b.ReportMetric(float64(pstats.Pruned), "pruned")
+}
+
 // --- ablation benches (design choices from DESIGN.md §5) ---
 
 func ablationEff(b *testing.B, p exp.Params, spec sim.Spec, cycles *uint64) float64 {

@@ -11,6 +11,8 @@
 //	faultinject -mode crt -progs gcc,swim -n 20  # campaign on CRT
 //	faultinject -progs gcc -n 200 -parallel 8    # sharded campaign
 //	faultinject -n 50 -server http://host:8471   # campaign on an rmtd daemon
+//	faultinject -progs gcc -n 200 -prune         # skip statically-masked trials
+//	faultinject -progs gcc -n 200 -validate-static  # replay them anyway, assert agreement
 //	faultinject -one -seq 5000 -bit 7 -point storedata -target trailing
 //
 // Campaigns go through the rmt.Runner seam: in-process by default, or
@@ -39,6 +41,9 @@ func main() {
 		seed      = flag.Uint64("seed", 0xC0FFEE, "campaign seed")
 
 		server = flag.String("server", "", "run the campaign on an rmtd daemon at this base URL instead of in-process")
+
+		prune    = flag.Bool("prune", false, "classify statically-masked trials without replay (local engine only; summary unchanged)")
+		validate = flag.Bool("validate-static", false, "replay pruned trials anyway and fail if the static masking proof disagrees")
 
 		one    = flag.Bool("one", false, "inject a single described fault instead of a campaign")
 		seq    = flag.Uint64("seq", 8000, "dynamic instruction number for -one")
@@ -93,6 +98,43 @@ func main() {
 		fmt.Printf("injected %v\noutcome: %v\n", f, res.Outcome)
 		if res.Outcome == fault.Detected {
 			fmt.Printf("detection latency: %d cycles\n", res.DetectionCycles)
+		}
+		return
+	}
+
+	// Pruning is a local execution policy: it needs the fork engine and the
+	// static analysis on this machine, and it reports how many trials were
+	// skipped — information the daemon protocol deliberately does not carry
+	// (the summary is identical either way).
+	if *prune || *validate {
+		if *server != "" {
+			fatal(fmt.Errorf("faultinject: -prune/-validate-static are local execution policies; drop -server"))
+		}
+		var stats fault.PruneStats
+		sum, err := fault.CampaignParallel(spec, *n, *seed, fault.CampaignOptions{
+			Parallelism:           sf.Parallelism(),
+			PruneStaticallyMasked: true,
+			ValidateStaticMasking: *validate,
+			PruneStats:            &stats,
+			Progress: func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\rtrial %d/%d", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("campaign: mode=%v progs=%v trials=%d\n", mode, spec.Programs, sum.Runs)
+		fmt.Printf("  detected:  %d\n  masked:    %d\n  not fired: %d\n", sum.Detected, sum.Masked, sum.NotFired)
+		fmt.Printf("  coverage of fired faults: %.1f%%\n", 100*sum.Coverage())
+		if sum.Detected > 0 {
+			fmt.Printf("  mean detection latency:   %.0f cycles\n", sum.MeanDetectionCycles)
+		}
+		fmt.Printf("  statically pruned: %d of %d fired trials (%d planned)\n", stats.Pruned, stats.Fired, stats.Planned)
+		if *validate {
+			fmt.Println("  static masking cross-validation: every pruned trial replayed identically")
 		}
 		return
 	}

@@ -2,9 +2,11 @@
 // `make lint`.
 //
 // Layer 1 runs the Go analyzers from internal/analysis (determinism,
-// layering, sharedstate) over the module's packages. Layer 2 runs the ISA
-// program verifier over every registered workload kernel, so a kernel that
-// regresses structurally (orphaned block, never-written register read,
+// layering, sharedstate, snapshot, snapcomplete) over the module's packages,
+// then reports stale suppression directives — //rmtlint:allow or
+// //rmtsnap:skip comments that no longer suppress anything. Layer 2 runs the
+// ISA program verifier over every registered workload kernel, so a kernel
+// that regresses structurally (orphaned block, never-written register read,
 // wild immediate) fails the build rather than the experiment.
 //
 // Usage:
@@ -12,15 +14,22 @@
 //	rmtlint ./...            # whole module + every kernel
 //	rmtlint ./internal/sim   # selected packages (kernels still checked)
 //	rmtlint -nokernels ./... # Layer 1 only
+//	rmtlint -nostale ./...   # keep stale directives quiet
+//	rmtlint -json ./...      # findings as a JSON array on stdout
 //
 // Exit status is 0 when nothing is flagged, 1 otherwise; diagnostics are
-// file:line: [check] message. A finding that is legitimate by design is
-// suppressed at the site with a //rmtlint:allow <check> directive.
+// file:line: [check] message, or with -json a machine-readable array of
+// {file,line,col,analyzer,message} objects (kernel findings carry
+// {kernel,pc,analyzer,message} instead of a source position). A finding that
+// is legitimate by design is suppressed at the site with a
+// //rmtlint:allow <check> or //rmtsnap:skip directive.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,8 +37,52 @@ import (
 	"repro/rmt"
 )
 
+// finding is the JSON shape of one diagnostic. Source findings fill
+// file/line/col; kernel findings fill kernel and (when anchored) pc.
+type finding struct {
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Kernel   string `json:"kernel,omitempty"`
+	PC       *int   `json:"pc,omitempty"`
+}
+
+func sourceFinding(d analysis.Diagnostic) finding {
+	return finding{
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Analyzer: d.Check,
+		Message:  d.Message,
+	}
+}
+
+func kernelFinding(name string, issue rmt.ProgramIssue) finding {
+	f := finding{Kernel: name, Analyzer: issue.Check, Message: issue.Msg}
+	if issue.PC >= 0 {
+		pc := issue.PC
+		f.PC = &pc
+	}
+	return f
+}
+
+// writeJSON emits the findings as one indented JSON array (an empty slice
+// marshals as [], so a clean run still produces valid JSON).
+func writeJSON(w io.Writer, findings []finding) error {
+	if findings == nil {
+		findings = []finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
 func main() {
 	nokernels := flag.Bool("nokernels", false, "skip the Layer-2 kernel verification")
+	nostale := flag.Bool("nostale", false, "do not report stale suppression directives")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -64,15 +117,20 @@ func main() {
 		}
 	}
 
-	bad := 0
+	var findings []finding
 	for _, path := range paths {
 		pass, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
-		for _, d := range analysis.RunAnalyzers(pass, analysis.Analyzers()) {
-			fmt.Println(d)
-			bad++
+		diags := analysis.RunAnalyzers(pass, analysis.Analyzers())
+		if !*nostale {
+			// Valid only now: every analyzer that could consume a directive
+			// has run over this package.
+			diags = append(diags, pass.StaleDirectives()...)
+		}
+		for _, d := range diags {
+			findings = append(findings, sourceFinding(d))
 		}
 	}
 
@@ -83,14 +141,31 @@ func main() {
 				fatal(err)
 			}
 			for _, issue := range issues {
-				fmt.Printf("kernel %s: %s\n", name, issue)
-				bad++
+				findings = append(findings, kernelFinding(name, issue))
 			}
 		}
 	}
 
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "rmtlint: %d issue(s)\n", bad)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			if f.Kernel != "" {
+				if f.PC != nil {
+					fmt.Printf("kernel %s: [%s] pc=%d: %s\n", f.Kernel, f.Analyzer, *f.PC, f.Message)
+				} else {
+					fmt.Printf("kernel %s: [%s] %s\n", f.Kernel, f.Analyzer, f.Message)
+				}
+			} else {
+				fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+			}
+		}
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "rmtlint: %d issue(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/rmt"
+)
+
+// TestJSONSchema pins the machine-readable finding shape: source findings
+// carry file/line/col, kernel findings carry kernel (and pc when anchored),
+// and both always carry analyzer and message.
+func TestJSONSchema(t *testing.T) {
+	src := sourceFinding(analysis.Diagnostic{
+		Pos:     token.Position{Filename: "internal/sim/machine.go", Line: 42, Column: 7},
+		Check:   "determinism",
+		Message: "time.Now on the canonical path",
+	})
+	kern := kernelFinding("gcc", rmt.ProgramIssue{Check: "reach", PC: 9, Msg: "unreachable block"})
+	wide := kernelFinding("li", rmt.ProgramIssue{Check: "halt", PC: -1, Msg: "no halt on some path"})
+
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, []finding{src, kern, wide}); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.Bytes())
+	}
+	if len(got) != 3 {
+		t.Fatalf("want 3 findings, got %d", len(got))
+	}
+
+	want := []map[string]any{
+		{"file": "internal/sim/machine.go", "line": 42.0, "col": 7.0,
+			"analyzer": "determinism", "message": "time.Now on the canonical path"},
+		{"kernel": "gcc", "pc": 9.0, "analyzer": "reach", "message": "unreachable block"},
+		{"kernel": "li", "analyzer": "halt", "message": "no halt on some path"},
+	}
+	for i := range want {
+		for k, v := range want[i] {
+			if got[i][k] != v {
+				t.Errorf("finding %d: %s = %v, want %v", i, k, got[i][k], v)
+			}
+		}
+		for k := range got[i] {
+			if _, ok := want[i][k]; !ok {
+				t.Errorf("finding %d: unexpected key %q (zero-valued fields must be omitted)", i, k)
+			}
+		}
+	}
+}
+
+// TestJSONEmpty: a clean run still emits valid JSON — an empty array, not
+// null, so downstream `jq length` pipelines work unconditionally.
+func TestJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty findings encode as %q, want []", got)
+	}
+}

@@ -76,42 +76,71 @@ type Pass struct {
 	Pkg  *types.Package
 	Info *types.Info
 
-	// allows maps filename -> line -> set of allowed check names.
-	allows map[string]map[int]map[string]bool
+	// allows maps filename -> line -> allowed check name -> directive.
+	allows map[string]map[int]map[string]*directive
+	// skips maps filename -> line -> //rmtsnap:skip directive.
+	skips map[string]map[int]*directive
+	// dirs lists every directive in the package, for staleness reporting.
+	dirs []*directive
+}
+
+// directive is one suppression comment, tracked so stale ones — directives
+// that no longer suppress any finding — can be reported.
+type directive struct {
+	pos  token.Position
+	text string // the directive as written ("rmtlint:allow determinism", "rmtsnap:skip")
+	used bool
 }
 
 // DirectivePrefix introduces an allow directive inside a comment.
 const DirectivePrefix = "rmtlint:allow"
 
-// scanAllows indexes every //rmtlint:allow directive by file and line.
-func (p *Pass) scanAllows() {
-	p.allows = make(map[string]map[int]map[string]bool)
+// SkipDirectivePrefix marks a struct field as deliberately excluded from
+// its struct's snapshot (see the snapcomplete analyzer).
+const SkipDirectivePrefix = "rmtsnap:skip"
+
+// scanDirectives indexes every //rmtlint:allow and //rmtsnap:skip directive
+// by file and line.
+func (p *Pass) scanDirectives() {
+	p.allows = make(map[string]map[int]map[string]*directive)
+	p.skips = make(map[string]map[int]*directive)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, DirectivePrefix) {
-					continue
-				}
-				rest := strings.TrimSpace(text[len(DirectivePrefix):])
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				check := fields[0]
 				pos := p.Fset.Position(c.Pos())
-				byLine := p.allows[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					p.allows[pos.Filename] = byLine
+				switch {
+				case strings.HasPrefix(text, DirectivePrefix):
+					rest := strings.TrimSpace(text[len(DirectivePrefix):])
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					check := fields[0]
+					d := &directive{pos: pos, text: DirectivePrefix + " " + check}
+					p.dirs = append(p.dirs, d)
+					byLine := p.allows[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]*directive)
+						p.allows[pos.Filename] = byLine
+					}
+					set := byLine[pos.Line]
+					if set == nil {
+						set = make(map[string]*directive)
+						byLine[pos.Line] = set
+					}
+					set[check] = d
+				case strings.HasPrefix(text, SkipDirectivePrefix):
+					d := &directive{pos: pos, text: SkipDirectivePrefix}
+					p.dirs = append(p.dirs, d)
+					byLine := p.skips[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]*directive)
+						p.skips[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = d
 				}
-				set := byLine[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					byLine[pos.Line] = set
-				}
-				set[check] = true
 			}
 		}
 	}
@@ -119,18 +148,60 @@ func (p *Pass) scanAllows() {
 
 // allowed reports whether a finding of the given check at pos is suppressed
 // by a directive on the same line or the line immediately above it (the
-// latter supports a directive as a standalone comment over the site).
+// latter supports a directive as a standalone comment over the site). A
+// matching directive is marked used for staleness accounting.
 func (p *Pass) allowed(check string, pos token.Position) bool {
 	byLine := p.allows[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if byLine[line][check] {
+		if d := byLine[line][check]; d != nil {
+			d.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// snapSkipped reports whether a struct field at pos carries a
+// //rmtsnap:skip directive on its line or the line above, marking the
+// directive used.
+func (p *Pass) snapSkipped(pos token.Position) bool {
+	if p.allows == nil {
+		p.scanDirectives()
+	}
+	byLine := p.skips[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d := byLine[line]; d != nil {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// StaleDirectives reports every directive in the package that suppressed no
+// finding. Meaningful only after the full analyzer suite has run over the
+// pass (an unused directive is only provably stale once every check that
+// could consume it has reported).
+func (p *Pass) StaleDirectives() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range p.dirs {
+		if d.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     d.pos,
+			Check:   "stale-directive",
+			Message: fmt.Sprintf("//%s suppresses no finding: remove the directive or restore what it justified", d.text),
+		})
+	}
+	sortDiagnostics(out)
+	return out
 }
 
 // typeOf returns the type of an expression, or nil when type information is
@@ -159,14 +230,14 @@ func (p *Pass) pkgNameOf(id *ast.Ident) string {
 
 // Analyzers returns the Layer-1 suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, Layering, SharedState, Snapshot}
+	return []*Analyzer{Determinism, Layering, SharedState, Snapshot, Snapcomplete}
 }
 
 // RunAnalyzers applies the given analyzers to one loaded package and returns
 // the surviving (un-allowed) findings sorted by position.
 func RunAnalyzers(p *Pass, analyzers []*Analyzer) []Diagnostic {
 	if p.allows == nil {
-		p.scanAllows()
+		p.scanDirectives()
 	}
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -177,6 +248,11 @@ func RunAnalyzers(p *Pass, analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -190,5 +266,4 @@ func RunAnalyzers(p *Pass, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return out
 }

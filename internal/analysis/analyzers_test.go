@@ -269,7 +269,8 @@ var pool = map[string]int{}
 }
 
 // TestRepoIsClean runs the full Layer-1 suite over every package of the
-// module — the same sweep `make lint` does — and requires zero findings.
+// module — the same sweep `make lint` does — and requires zero findings,
+// including stale suppression directives.
 func TestRepoIsClean(t *testing.T) {
 	root, modPath, err := ModuleRoot(".")
 	if err != nil {
@@ -285,7 +286,9 @@ func TestRepoIsClean(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, d := range RunAnalyzers(pass, Analyzers()) {
+		diags := RunAnalyzers(pass, Analyzers())
+		diags = append(diags, pass.StaleDirectives()...)
+		for _, d := range diags {
 			t.Errorf("%s", d)
 		}
 	}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// maskedAt returns the masking reason recorded for pc, or "" when the site
+// is potentially ACE (or has no destination-register site at all).
+func maskedAt(prof *VulnerabilityProfile, pc int) string {
+	for _, s := range prof.MaskedSites {
+		if s.PC == pc {
+			return s.Reason
+		}
+	}
+	return ""
+}
+
+func analyze(t *testing.T, p *isa.Program) *VulnerabilityProfile {
+	t.Helper()
+	prof, err := AnalyzeProgram(p)
+	if err != nil {
+		t.Fatalf("AnalyzeProgram: %v", err)
+	}
+	return prof
+}
+
+func TestACEDeadWriteOverwritten(t *testing.T) {
+	// pc0's r1 is overwritten at pc1 before any read: masked. pc1's r1
+	// feeds the store: ACE.
+	b := isa.NewBuilder("deadwrite")
+	b.Ldi(isa.R1, 5) // pc0: dead
+	b.Ldi(isa.R1, 7) // pc1: live (store data)
+	b.Stq(isa.R1, isa.R31, 64)
+	b.Halt()
+	prof := analyze(t, b.MustFinish())
+	if got := maskedAt(prof, 0); got != MaskedOverwritten {
+		t.Errorf("pc0: got %q, want %q", got, MaskedOverwritten)
+	}
+	if got := maskedAt(prof, 1); got != "" {
+		t.Errorf("pc1: got %q, want ACE", got)
+	}
+}
+
+func TestACENeverRead(t *testing.T) {
+	b := isa.NewBuilder("neverread")
+	b.Ldi(isa.R2, 9) // pc0: no instruction reads r2
+	b.Ldi(isa.R1, 7)
+	b.Stq(isa.R1, isa.R31, 64)
+	b.Halt()
+	prof := analyze(t, b.MustFinish())
+	if got := maskedAt(prof, 0); got != MaskedNeverRead {
+		t.Errorf("pc0: got %q, want %q", got, MaskedNeverRead)
+	}
+}
+
+func TestACELoopCarriedLiveRange(t *testing.T) {
+	// The accumulator r2 is written inside the loop and read on the next
+	// iteration (and by the store after exit): its write must stay ACE even
+	// though no read follows it in straight-line order. The counter r1 is
+	// dead after the loop exits but live across the back edge.
+	b := isa.NewBuilder("loopcarried")
+	b.Ldi(isa.R1, 100) // pc0
+	b.Label("top")
+	b.Addi(isa.R2, isa.R2, 1)  // pc1: loop-carried accumulator
+	b.Addi(isa.R1, isa.R1, -1) // pc2: loop counter
+	b.Bne(isa.R1, "top")       // pc3
+	b.Stq(isa.R2, isa.R31, 64) // pc4
+	b.Halt()
+	prof := analyze(t, b.MustFinish())
+	for pc := 0; pc <= 2; pc++ {
+		if got := maskedAt(prof, pc); got != "" {
+			t.Errorf("pc%d: got %q, want ACE (loop-carried)", pc, got)
+		}
+	}
+	lv := ComputeLiveness(b.MustFinish())
+	if !lv.Out[3].LiveInt(isa.R1) {
+		t.Error("r1 must be live out of the back-edge branch")
+	}
+	if !lv.Out[3].LiveInt(isa.R2) {
+		t.Error("r2 must be live out of the back-edge branch")
+	}
+	if lv.Out[4].LiveInt(isa.R1) || lv.Out[4].LiveInt(isa.R2) {
+		t.Error("nothing is live after the final store")
+	}
+}
+
+func TestACEZeroRegLink(t *testing.T) {
+	// A JSR that discards its link through R31 writes nothing observable.
+	b := isa.NewBuilder("zerolink")
+	b.Jsr(isa.R31, "next") // pc0: link discarded
+	b.Label("next")
+	b.Halt()
+	prof := analyze(t, b.MustFinish())
+	if got := maskedAt(prof, 0); got != MaskedZeroReg {
+		t.Errorf("pc0: got %q, want %q", got, MaskedZeroReg)
+	}
+}
+
+func TestACEUnreachableSite(t *testing.T) {
+	p := &isa.Program{Name: "orphan", Code: []isa.Instr{
+		{Op: isa.LDI, Rd: isa.R1, Imm: 5},
+		{Op: isa.BR, Imm: 1},
+		{Op: isa.ADDI, Rd: isa.R1, Ra: isa.R1, Imm: 1}, // orphaned
+		{Op: isa.STQ, Rd: isa.R1, Ra: isa.R31, Imm: 64},
+		{Op: isa.HALT},
+	}}
+	prof := analyze(t, p)
+	if got := maskedAt(prof, 2); got != MaskedUnreachable {
+		t.Errorf("pc2: got %q, want %q", got, MaskedUnreachable)
+	}
+}
+
+func TestACEConservativeWithInterruptHandler(t *testing.T) {
+	// With a handler declared, nothing dataflow-based is provable: the
+	// dead write from TestACEDeadWriteOverwritten must stay ACE.
+	b := isa.NewBuilder("handler")
+	b.Ldi(isa.R1, 5)
+	b.Ldi(isa.R1, 7)
+	b.Stq(isa.R1, isa.R31, 64)
+	b.Br("spin")
+	b.Label("spin")
+	b.Br("spin")
+	b.Label("isr")
+	b.InterruptHandlerAt("isr")
+	b.Jmp(isa.R31, isa.R30)
+	prof := analyze(t, b.MustFinish())
+	if !prof.Conservative {
+		t.Fatal("handler program must analyze conservatively")
+	}
+	if got := maskedAt(prof, 0); got != "" {
+		t.Errorf("pc0: got %q, want ACE under conservative analysis", got)
+	}
+}
+
+func TestMemLivenessDeadStore(t *testing.T) {
+	// The first store to [64,72) is fully overwritten by the second before
+	// the load reads the slot: provably dead. The second store is read, and
+	// the third is live into HALT (final memory is observable).
+	b := isa.NewBuilder("deadstore")
+	b.Ldi(isa.R1, 5)
+	b.Stq(isa.R1, isa.R31, 64) // pc1: dead
+	b.Ldi(isa.R2, 9)
+	b.Stq(isa.R2, isa.R31, 64) // pc3: read by pc4
+	b.Ldq(isa.R3, isa.R31, 64)
+	b.Stq(isa.R3, isa.R31, 128) // pc5: live into HALT
+	b.Halt()
+	ml := ComputeMemLiveness(b.MustFinish())
+	if !reflect.DeepEqual(ml.DeadStores, []int{1}) {
+		t.Errorf("DeadStores = %v, want [1]", ml.DeadStores)
+	}
+	if ml.Tracked != 2 {
+		t.Errorf("Tracked = %d, want 2 spans", ml.Tracked)
+	}
+}
+
+func TestMemLivenessPartialOverwriteKeepsStoreLive(t *testing.T) {
+	// A 1-byte store does not fully cover the 8-byte span, so the quad
+	// store stays live for the later load.
+	b := isa.NewBuilder("partial")
+	b.Ldi(isa.R1, 5)
+	b.Stq(isa.R1, isa.R31, 64) // pc1: NOT dead — only partially overwritten
+	b.Stb(isa.R1, isa.R31, 64) // pc2: 1 byte
+	b.Ldq(isa.R2, isa.R31, 64)
+	b.Stq(isa.R2, isa.R31, 128)
+	b.Halt()
+	ml := ComputeMemLiveness(b.MustFinish())
+	if len(ml.DeadStores) != 0 {
+		t.Errorf("DeadStores = %v, want none", ml.DeadStores)
+	}
+}
+
+// TestKernelProfilesGolden pins every registered kernel's vulnerability
+// profile. A kernel edit that shifts its ACE fraction or masked-site list
+// shows up as a golden diff; regenerate with `go test ./internal/analysis/
+// -run Golden -update` after auditing the change.
+func TestKernelProfilesGolden(t *testing.T) {
+	names := program.Names()
+	sort.Strings(names)
+	profiles := make([]*VulnerabilityProfile, 0, len(names))
+	for _, name := range names {
+		p, err := program.Build(name)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		prof, err := AnalyzeProgram(p)
+		if err != nil {
+			t.Fatalf("analyze %s: %v", name, err)
+		}
+		prof.Name = name
+		profiles = append(profiles, prof)
+	}
+	got, err := json.MarshalIndent(profiles, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "ace_profiles.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("kernel vulnerability profiles drifted from %s (rerun with -update after auditing):\ngot:\n%s", golden, got)
+	}
+}

@@ -353,7 +353,7 @@ func checkDefUse(p *isa.Program, cfg *progCFG, reach []bool) []ProgramIssue {
 func checkZeroWrites(p *isa.Program, reach []bool) []ProgramIssue {
 	var issues []ProgramIssue
 	for pc, ins := range p.Code {
-		if !reach[pc] || !ins.HasDest() || ins.Rd != isa.ZeroReg {
+		if !reach[pc] || !ins.DestDiscarded() {
 			continue
 		}
 		if ins.Op == isa.JSR || ins.Op == isa.JMP {
@@ -506,14 +506,15 @@ func constTransfer(s *constState, pc int, ins isa.Instr) {
 	s.set(ins.Rd, val)
 }
 
-// checkMemBounds propagates constants from the zeroed register file to every
-// reachable memory instruction and flags statically-wild effective
-// addresses. When every store address in the program is statically known,
-// the data segment is fully visible, so loads outside it are flagged too.
-func checkMemBounds(p *isa.Program, cfg *progCFG, reach []bool) []ProgramIssue {
+// constFixpoint propagates constants from the zeroed register file to a
+// fixpoint over the CFG and returns each instruction's entry state plus a
+// mask of the pcs the propagation visited. Shared by the mem-bounds
+// verifier and the memory-liveness analysis (dataflow.go) so the two can
+// never disagree about which effective addresses are statically known.
+func constFixpoint(p *isa.Program, cfg *progCFG) (states []constState, seen []bool) {
 	n := len(p.Code)
 	in := make([]constState, n)
-	seen := make([]bool, n)
+	seen = make([]bool, n)
 	var work []int
 	pushRoot := func(pc int, varies bool) {
 		var s constState
@@ -553,6 +554,15 @@ func checkMemBounds(p *isa.Program, cfg *progCFG, reach []bool) []ProgramIssue {
 			}
 		}
 	}
+	return in, seen
+}
+
+// checkMemBounds propagates constants from the zeroed register file to every
+// reachable memory instruction and flags statically-wild effective
+// addresses. When every store address in the program is statically known,
+// the data segment is fully visible, so loads outside it are flagged too.
+func checkMemBounds(p *isa.Program, cfg *progCFG, reach []bool) []ProgramIssue {
+	in, seen := constFixpoint(p, cfg)
 
 	// Data segment: initial image plus statically-known store spans
 	// (capped at the sanity limit so a wild store cannot mask itself).

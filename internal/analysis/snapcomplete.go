@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Snapcomplete guards the snapshot layer's completeness: a struct that
+// participates in machine-state serialization must account for every one of
+// its fields in both directions, or a field added later silently breaks the
+// restored-run byte-identity invariant (the restored machine carries a
+// stale value the snapshot never saw). The analyzer:
+//
+//  1. finds the package's serialization entry points — functions with a
+//     *snap.Writer (encode) or *snap.Reader (decode) parameter, or that
+//     construct one via snap.NewWriter/snap.NewReader;
+//  2. closes each side over the package-local call graph, so helpers like
+//     writeInst or instQueues contribute their field accesses;
+//  3. takes as subjects the package-local structs appearing as a receiver
+//     or parameter of an entry point on BOTH sides (encode-only or
+//     decode-only structs have no round-trip contract to check);
+//  4. requires every subject field to be referenced somewhere on each
+//     side, or to carry a //rmtsnap:skip directive on or above the field
+//     declaring it deliberately outside the snapshot (hooks, config
+//     pointers, scratch state reset on restore).
+//
+// The check is syntactic and one-sided: a referenced field is not proven
+// serialized, but an unreferenced one is proven forgotten — which is
+// exactly the added-field hazard. Structs serialized from another package
+// (e.g. vm.Outcome encoded by pipeline's writeOutcome) are outside the
+// contract: the analyzer sees one package at a time.
+var Snapcomplete = &Analyzer{
+	Name: "snapcomplete",
+	Doc:  "every snapshotted struct accounts for all its fields in both encode and decode, or skips them explicitly",
+	Run:  runSnapcomplete,
+}
+
+func runSnapcomplete(p *Pass) []Diagnostic {
+	if p.Pkg == nil || p.Info == nil {
+		return nil
+	}
+	snapPath := ModPath + "/internal/snap"
+	if p.Path == snapPath {
+		return nil // the substrate itself has no snapshot contract
+	}
+
+	isSnapType := func(t types.Type, name string) bool {
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == snapPath && obj.Name() == name
+	}
+	// localStruct resolves t (through one pointer) to a package-local named
+	// struct's TypeName, or nil.
+	localStruct := func(t types.Type) *types.TypeName {
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil
+		}
+		obj := named.Obj()
+		if obj.Pkg() != p.Pkg {
+			return nil
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return nil
+		}
+		return obj
+	}
+
+	// Pass 1 over every function: classify entry points, record the
+	// package-local call graph and per-function field references.
+	fns := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					fns[obj] = fd
+				}
+			}
+		}
+	}
+	var encSeeds, decSeeds []types.Object
+	calls := make(map[types.Object][]types.Object)
+	fieldRefs := make(map[types.Object][]*types.Var)
+	for obj, fd := range fns {
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		enc, dec := false, false
+		for i := 0; i < sig.Params().Len(); i++ {
+			t := sig.Params().At(i).Type()
+			if isSnapType(t, "Writer") {
+				enc = true
+			}
+			if isSnapType(t, "Reader") {
+				dec = true
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch o := p.Info.Uses[id].(type) {
+			case *types.Var:
+				if o.IsField() {
+					fieldRefs[obj] = append(fieldRefs[obj], o)
+				}
+			case *types.Func:
+				if o.Pkg() == p.Pkg {
+					if _, local := fns[o]; local {
+						calls[obj] = append(calls[obj], o)
+					}
+				} else if o.Pkg() != nil && o.Pkg().Path() == snapPath {
+					// Entry points that build their own codec (e.g.
+					// Machine.Snapshot over snap.NewWriter).
+					switch o.Name() {
+					case "NewWriter":
+						enc = true
+					case "NewReader":
+						dec = true
+					}
+				}
+			}
+			return true
+		})
+		if enc {
+			encSeeds = append(encSeeds, obj)
+		}
+		if dec {
+			decSeeds = append(decSeeds, obj)
+		}
+	}
+
+	closure := func(seeds []types.Object) map[types.Object]bool {
+		seen := make(map[types.Object]bool)
+		stack := append([]types.Object(nil), seeds...)
+		for len(stack) > 0 {
+			fn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[fn] {
+				continue
+			}
+			seen[fn] = true
+			stack = append(stack, calls[fn]...)
+		}
+		return seen
+	}
+	coverage := func(reach map[types.Object]bool) map[*types.Var]bool {
+		cov := make(map[*types.Var]bool)
+		for fn := range reach {
+			for _, v := range fieldRefs[fn] {
+				cov[v] = true
+			}
+		}
+		return cov
+	}
+	encReach, decReach := closure(encSeeds), closure(decSeeds)
+	encCov, decCov := coverage(encReach), coverage(decReach)
+
+	// Subjects: package-local structs a seed serializes directly, via its
+	// receiver or a parameter — on both sides.
+	subjectsOf := func(seeds []types.Object) map[*types.TypeName]bool {
+		subj := make(map[*types.TypeName]bool)
+		for _, fn := range seeds {
+			sig := fn.Type().(*types.Signature)
+			if recv := sig.Recv(); recv != nil {
+				if tn := localStruct(recv.Type()); tn != nil {
+					subj[tn] = true
+				}
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				if tn := localStruct(sig.Params().At(i).Type()); tn != nil {
+					subj[tn] = true
+				}
+			}
+		}
+		return subj
+	}
+	encSubj, decSubj := subjectsOf(encSeeds), subjectsOf(decSeeds)
+
+	// Walk struct declarations in source order (not subject-map order) so
+	// findings emerge deterministically.
+	var subjects []*types.TypeName
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if encSubj[tn] && decSubj[tn] {
+					subjects = append(subjects, tn)
+				}
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, tn := range subjects {
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if field.Name() == "_" {
+				continue
+			}
+			encMiss, decMiss := !encCov[field], !decCov[field]
+			if !encMiss && !decMiss {
+				continue
+			}
+			pos := p.Fset.Position(field.Pos())
+			if p.snapSkipped(pos) {
+				continue
+			}
+			side := "encode/decode paths"
+			switch {
+			case encMiss && !decMiss:
+				side = "encode path"
+			case decMiss && !encMiss:
+				side = "decode path"
+			}
+			out = append(out, Diagnostic{
+				Pos:   pos,
+				Check: "snapcomplete",
+				Message: fmt.Sprintf("field %s.%s is not referenced on the snapshot %s: serialize it or mark it //rmtsnap:skip",
+					tn.Name(), field.Name(), side),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one fixture package and returns its Pass, without
+// running any analyzer, so tests can drive RunAnalyzers and StaleDirectives
+// separately.
+func loadFixture(t *testing.T, path, src string) *Pass {
+	t.Helper()
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(root, modPath)
+	pass, err := l.LoadSource(path, map[string]string{"fixture.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pass
+}
+
+// The known-bad fixture: Regs is serialized on both sides, Cycles only on
+// the encode side, Scratch on neither. Fixtures live in repro/internal/vm so
+// the snap import is layering-legal.
+const snapFixtureMissing = `
+package vm
+
+import "repro/internal/snap"
+
+type Core struct {
+	Regs    [4]uint64
+	Cycles  uint64
+	Scratch int
+}
+
+func (c *Core) SnapshotTo(w *snap.Writer) {
+	for _, r := range c.Regs {
+		w.U64(r)
+	}
+	w.U64(c.Cycles)
+}
+
+func (c *Core) RestoreFrom(r *snap.Reader) {
+	for i := range c.Regs {
+		c.Regs[i] = r.U64()
+	}
+}
+`
+
+func TestSnapcompleteMissingField(t *testing.T) {
+	diags := runOn(t, "repro/internal/vm", snapFixtureMissing)
+	if !hasDiag(diags, "snapcomplete", "field Core.Scratch is not referenced on the snapshot encode/decode paths") {
+		t.Errorf("want Scratch finding on both paths, got %v", diags)
+	}
+	if !hasDiag(diags, "snapcomplete", "field Core.Cycles is not referenced on the snapshot decode path") {
+		t.Errorf("want Cycles finding on the decode path, got %v", diags)
+	}
+	if hasDiag(diags, "snapcomplete", "Core.Regs") {
+		t.Errorf("Regs is covered on both sides, got %v", diags)
+	}
+}
+
+func TestSnapcompleteSkipDirective(t *testing.T) {
+	src := strings.Replace(snapFixtureMissing,
+		"Cycles  uint64", "Cycles  uint64 //rmtsnap:skip — fixture", 1)
+	src = strings.Replace(src,
+		"Scratch int", "Scratch int //rmtsnap:skip — fixture", 1)
+	diags := runOn(t, "repro/internal/vm", src)
+	if hasDiag(diags, "snapcomplete", "") {
+		t.Errorf("skip directives did not suppress: %v", diags)
+	}
+}
+
+// A field referenced only through a package-local helper still counts: the
+// analyzer closes over the call graph, so writeRegs/readRegs carry the Regs
+// coverage and Saved is covered by the NewWriter/NewReader entry points.
+func TestSnapcompleteHelperClosure(t *testing.T) {
+	diags := runOn(t, "repro/internal/vm", `
+package vm
+
+import "repro/internal/snap"
+
+type Core struct {
+	Regs  [4]uint64
+	Saved uint64
+}
+
+func (c *Core) writeRegs(w *snap.Writer) {
+	for _, r := range c.Regs {
+		w.U64(r)
+	}
+}
+
+func (c *Core) readRegs(r *snap.Reader) {
+	for i := range c.Regs {
+		c.Regs[i] = r.U64()
+	}
+}
+
+func (c *Core) Snapshot() []byte {
+	w := snap.NewWriter()
+	c.writeRegs(w)
+	w.U64(c.Saved)
+	return w.Finish()
+}
+
+func (c *Core) Restore(data []byte) error {
+	r, err := snap.NewReader(data)
+	if err != nil {
+		return err
+	}
+	c.readRegs(r)
+	c.Saved = r.U64()
+	return r.Done()
+}
+`)
+	if hasDiag(diags, "snapcomplete", "") {
+		t.Errorf("helper-covered fields flagged: %v", diags)
+	}
+}
+
+// Encode-only structs have no round-trip contract: a struct that is written
+// into a report stream but never restored is not a subject.
+func TestSnapcompleteEncodeOnlyNotASubject(t *testing.T) {
+	diags := runOn(t, "repro/internal/vm", `
+package vm
+
+import "repro/internal/snap"
+
+type Report struct {
+	Cycles uint64
+	Label  string
+}
+
+func (rep *Report) WriteTo(w *snap.Writer) {
+	w.U64(rep.Cycles)
+}
+`)
+	if hasDiag(diags, "snapcomplete", "") {
+		t.Errorf("encode-only struct flagged: %v", diags)
+	}
+}
+
+func TestSnapcompleteSnapPackageExempt(t *testing.T) {
+	diags := runOn(t, "repro/internal/snap", `
+package snap
+
+type codecState struct {
+	buf []byte
+	off int
+}
+
+func (s *codecState) save(w *Writer)    { w.Bytes(s.buf) }
+func (s *codecState) load(r *Reader)    { s.buf = r.Bytes() }
+`)
+	if hasDiag(diags, "snapcomplete", "") {
+		t.Errorf("snap package must be exempt from its own contract: %v", diags)
+	}
+}
+
+// A //rmtsnap:skip on a fully-serialized field suppresses nothing and must
+// surface as stale once the suite has run.
+func TestStaleSnapSkipDirective(t *testing.T) {
+	src := strings.Replace(snapFixtureMissing,
+		"Regs    [4]uint64", "Regs    [4]uint64 //rmtsnap:skip — stale: the loops below cover it", 1)
+	src = strings.Replace(src,
+		"Cycles  uint64", "Cycles  uint64 //rmtsnap:skip — fixture", 1)
+	src = strings.Replace(src,
+		"Scratch int", "Scratch int //rmtsnap:skip — fixture", 1)
+	pass := loadFixture(t, "repro/internal/vm", src)
+	if diags := RunAnalyzers(pass, Analyzers()); len(diags) != 0 {
+		t.Fatalf("fixture should be finding-free with skips in place: %v", diags)
+	}
+	stale := pass.StaleDirectives()
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "rmtsnap:skip") {
+		t.Fatalf("want exactly the Regs skip reported stale, got %v", stale)
+	}
+}
+
+func TestStaleAllowDirective(t *testing.T) {
+	pass := loadFixture(t, "repro/internal/sim", `
+package sim
+
+func pure(x int) int {
+	return x + 1 //rmtlint:allow determinism — nothing here to allow
+}
+`)
+	if diags := RunAnalyzers(pass, Analyzers()); len(diags) != 0 {
+		t.Fatalf("fixture should be finding-free: %v", diags)
+	}
+	stale := pass.StaleDirectives()
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "rmtlint:allow determinism") {
+		t.Fatalf("want the unused allow reported stale, got %v", stale)
+	}
+}
+
+// A consumed directive is not stale.
+func TestUsedDirectiveNotStale(t *testing.T) {
+	pass := loadFixture(t, "repro/internal/sim", `
+package sim
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() //rmtlint:allow determinism — test fixture
+}
+`)
+	if diags := RunAnalyzers(pass, Analyzers()); len(diags) != 0 {
+		t.Fatalf("allow should suppress the finding: %v", diags)
+	}
+	if stale := pass.StaleDirectives(); len(stale) != 0 {
+		t.Fatalf("consumed directive reported stale: %v", stale)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/analysis"
+	"repro/internal/program"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -224,6 +226,34 @@ type CampaignOptions struct {
 	// Cancel, when non-nil, is polled before each trial; a non-nil return
 	// aborts the campaign with that error (context cancellation plumbing).
 	Cancel func() error
+	// PruneStaticallyMasked classifies fired trials whose injection site
+	// the static ACE analysis (analysis.AnalyzeProgram) proves masked —
+	// the corrupted destination register is dead at the fire pc — without
+	// replaying them. The pruned summary is byte-identical to the unpruned
+	// one: a dead-register flip cannot change any architectural outcome,
+	// so the replay the prune skips is provably the golden suffix with the
+	// golden end cycle and the Masked outcome. Only the fork-on-fault
+	// engine supports pruning (it needs the golden pass's fire pcs).
+	PruneStaticallyMasked bool
+	// ValidateStaticMasking replays every pruned trial anyway and fails
+	// the campaign if the dynamic result disagrees with the static
+	// classification — the cross-validation gate for the ACE analysis.
+	// Implies PruneStaticallyMasked does not save any work.
+	ValidateStaticMasking bool
+	// PruneStats, when non-nil, receives what pruning did.
+	PruneStats *PruneStats
+}
+
+// PruneStats reports the effect of PruneStaticallyMasked on one campaign.
+type PruneStats struct {
+	// Planned is the campaign's trial count.
+	Planned int
+	// Fired counts trials whose fault fires in the golden run (the rest
+	// are classified from golden end state by both engines already).
+	Fired int
+	// Pruned counts fired trials the static analysis classified without
+	// replay.
+	Pruned int
 }
 
 // CampaignParallel runs the same campaign as Campaign with the injection
@@ -247,6 +277,10 @@ func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (
 	if err != nil {
 		return nil, fmt.Errorf("fault: golden run: %w", err)
 	}
+	pruned, err := planPruning(spec, faults, prep, opts)
+	if err != nil {
+		return nil, err
+	}
 	jobs := make([]func() (Result, error), n)
 	for i := range faults {
 		i, f := i, faults[i]
@@ -259,9 +293,16 @@ func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (
 			if !prep.fired[i] {
 				return prep.classifyUnfired(f), nil
 			}
+			if pruned[i] != nil && !opts.ValidateStaticMasking {
+				return *pruned[i], nil
+			}
 			res, err := prep.replay(spec, f, i)
 			if err != nil {
 				return Result{}, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
+			}
+			if pruned[i] != nil && res != *pruned[i] {
+				return Result{}, fmt.Errorf("fault: trial %d (%v): static masking disagrees with replay: static %+v, dynamic %+v",
+					i, f, *pruned[i], res)
 			}
 			return res, nil
 		}
@@ -336,6 +377,95 @@ func summarize(n int, results []Result) *CampaignSummary {
 	return sum
 }
 
+// planPruning statically pre-classifies fired trials when the options ask
+// for it. The returned slice holds, per trial, the Result static analysis
+// proves — nil when the trial must (or may as well) replay.
+//
+// A trial is prunable when all of the following hold:
+//
+//   - the golden run is healthy (no detections, no halt divergence for the
+//     victim pair): otherwise every trial is classified Detected from
+//     golden end state and static masking is moot;
+//   - the fault corrupts a destination register (PointResult, or
+//     PointLoadValue, whose corrupted value lands in the load's
+//     destination; the load value queue replicates addresses, not values,
+//     across the sphere boundary) — store data/address corruptions always
+//     face the store comparator and are never pruned;
+//   - the ACE analysis proves the destination register dead at the fire
+//     pc recorded by the golden pass.
+//
+// For such a trial the flip is invisible to every consumer: the victim's
+// timing and all compared values are unchanged, so the replay would run
+// the golden suffix to the golden end cycle and classify Masked with zero
+// detection latency — exactly the Result returned here. That equivalence
+// is what keeps pruned summaries byte-identical, and is machine-checked by
+// ValidateStaticMasking (the cross-validation gate).
+func planPruning(spec sim.Spec, faults []Transient, prep *forkPrep, opts CampaignOptions) ([]*Result, error) {
+	if !opts.PruneStaticallyMasked && !opts.ValidateStaticMasking {
+		if opts.PruneStats != nil {
+			*opts.PruneStats = PruneStats{Planned: len(faults)}
+		}
+		return make([]*Result, len(faults)), nil
+	}
+	masked, err := staticMaskedSites(spec)
+	if err != nil {
+		return nil, fmt.Errorf("fault: static analysis: %w", err)
+	}
+	pruned := make([]*Result, len(faults))
+	stats := PruneStats{Planned: len(faults)}
+	for i, f := range faults {
+		if !prep.fired[i] {
+			continue
+		}
+		stats.Fired++
+		if prep.detections > 0 || prep.haltDiverged[f.Logical] {
+			continue
+		}
+		if f.Point != vm.PointResult && f.Point != vm.PointLoadValue {
+			continue
+		}
+		if sites := masked[f.Logical]; sites != nil && sites[int(prep.firePC[i])] {
+			pruned[i] = &Result{Fault: f, Outcome: Masked, Cycles: prep.endCycle}
+			stats.Pruned++
+		}
+	}
+	if opts.PruneStats != nil {
+		*opts.PruneStats = stats
+	}
+	return pruned, nil
+}
+
+// staticMaskedSites runs the ACE analysis over each of the campaign's
+// programs and returns, per logical thread, the set of pcs whose
+// destination-register injection site is provably masked (nil when the
+// analysis is conservative and proves nothing).
+func staticMaskedSites(spec sim.Spec) ([]map[int]bool, error) {
+	cache := make(map[string]map[int]bool, len(spec.Programs))
+	out := make([]map[int]bool, len(spec.Programs))
+	for i, name := range spec.Programs {
+		sites, ok := cache[name]
+		if !ok {
+			prog, err := program.Build(name)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := analysis.AnalyzeProgram(prog)
+			if err != nil {
+				return nil, err
+			}
+			if !prof.Conservative {
+				sites = make(map[int]bool, len(prof.MaskedSites))
+				for _, s := range prof.MaskedSites {
+					sites[s.PC] = true
+				}
+			}
+			cache[name] = sites
+		}
+		out[i] = sites
+	}
+	return out, nil
+}
+
 // checkpointInterval is the golden-run checkpoint spacing in machine
 // iterations. A trial replays from the last checkpoint at or before its
 // fire iteration; an armed fault is silent until its exact injection point,
@@ -364,6 +494,7 @@ var errConverged = errors.New("fault: replay converged with golden run")
 type forkPrep struct {
 	fired    []bool
 	fireIter []uint64          // machine iteration (Machine.Cycles) at fire
+	firePC   []uint64          // victim pc at fire (static-pruning lookup key)
 	snaps    map[uint64][]byte // checkpoint iteration -> snapshot
 	pool     sync.Pool         // recycled *sim.Machine for replay trials
 
@@ -409,6 +540,7 @@ func forkPrepare(spec sim.Spec, faults []Transient) (*forkPrep, error) {
 	p := &forkPrep{
 		fired:    make([]bool, len(faults)),
 		fireIter: make([]uint64, len(faults)),
+		firePC:   make([]uint64, len(faults)),
 		snaps:    make(map[uint64][]byte),
 	}
 	g, err := sim.Build(spec)
@@ -448,6 +580,7 @@ func forkPrepare(spec sim.Spec, faults []Transient) (*forkPrep, error) {
 					if !p.fired[i] && seq >= faults[i].AtSeq && point == faults[i].Point {
 						p.fired[i] = true
 						p.fireIter[i] = g.Cycles
+						p.firePC[i] = pc
 						firedCount++
 						if g.Cycles > maxFire {
 							maxFire = g.Cycles

@@ -399,6 +399,13 @@ func (i Instr) HasDest() bool {
 	return true
 }
 
+// DestDiscarded reports whether the instruction writes a register but the
+// destination is the hardwired zero of its file (R31/F31), so the value is
+// architecturally dropped — a JSR discarding its link, or a write kept only
+// for its side effects. Such writes can never be ACE: no later instruction
+// can observe them.
+func (i Instr) DestDiscarded() bool { return i.HasDest() && i.Rd == ZeroReg }
+
 // DestIsFP reports whether the destination register is in the FP file.
 func (i Instr) DestIsFP() bool {
 	switch i.Op {

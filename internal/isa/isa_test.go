@@ -151,6 +151,27 @@ func TestInstrPredicates(t *testing.T) {
 	}
 }
 
+func TestDestDiscarded(t *testing.T) {
+	checks := []struct {
+		in   Instr
+		want bool
+	}{
+		{Instr{Op: JSR, Rd: R31, Ra: R3}, true},  // link discarded
+		{Instr{Op: JSR, Rd: R26, Ra: R3}, false}, // link kept
+		{Instr{Op: ADD, Rd: R31, Ra: R1}, true},  // computed into the sink
+		{Instr{Op: ADD, Rd: R1, Ra: R2}, false},  // normal write
+		{Instr{Op: STQ, Rd: R31, Ra: R1}, false}, // stores have no dest; Rd is data
+		{Instr{Op: BEQ, Rd: R31, Ra: R1}, false}, // branches never write
+		{Instr{Op: FADD, Rd: F31, Ra: F1}, true}, // FP sink (F31 aliases reg 31)
+		{Instr{Op: FADD, Rd: F1, Ra: F2}, false},
+	}
+	for _, c := range checks {
+		if got := c.in.DestDiscarded(); got != c.want {
+			t.Errorf("%v DestDiscarded = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
 func TestDestIsFP(t *testing.T) {
 	if !(Instr{Op: FLDQ}).DestIsFP() {
 		t.Error("FLDQ dest should be FP")

@@ -28,7 +28,7 @@ type Level interface {
 // FlatMemory is the bottom of the hierarchy: fixed-latency DRAM.
 type FlatMemory struct {
 	// Latency is the access latency in cycles.
-	Latency uint64
+	Latency uint64 //rmtsnap:skip — construction-time config, identical in every snapshot
 	// Accesses counts block requests.
 	Accesses stats.Counter
 }
@@ -47,22 +47,22 @@ type line struct {
 
 // Cache is one set-associative cache level.
 type Cache struct {
-	name      string
+	name      string //rmtsnap:skip — construction-time config
 	nsets     uint64
-	blockBits uint
+	blockBits uint //rmtsnap:skip — construction-time config
 	ways      int
-	hitLat    uint64
+	hitLat    uint64 //rmtsnap:skip — construction-time config
 	// MissExtra is added to every miss's fill time (lockstep checker
 	// interposition penalty; 0 in all non-lockstepped configurations).
-	MissExtra uint64
+	MissExtra uint64 //rmtsnap:skip — construction-time config
 
-	next Level
+	next Level //rmtsnap:skip — hierarchy wiring; the next level snapshots itself
 
 	sets [][]line // sets[set][way], way 0 = MRU
 	// predictedWay implements way prediction: a hit in a non-predicted way
 	// costs one extra cycle and retrains the predictor.
 	predictedWay []int
-	wayPredict   bool
+	wayPredict   bool //rmtsnap:skip — construction-time config
 
 	Hits           stats.Counter
 	Misses         stats.Counter
@@ -271,10 +271,10 @@ type mergeEntry struct {
 // searched linearly, which at this size is faster than a map and never
 // allocates after construction.
 type MergeBuffer struct {
-	blockBits uint
+	blockBits uint         //rmtsnap:skip — construction-time config
 	slots     []mergeEntry // fixed length = capacity
 	n         int
-	dcache    *Cache
+	dcache    *Cache //rmtsnap:skip — hierarchy wiring; the cache snapshots itself
 
 	Coalesced stats.Counter
 	Writes    stats.Counter

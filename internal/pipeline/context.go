@@ -14,14 +14,14 @@ const neverUnblock = math.MaxUint64
 
 // Context is one hardware thread context on a core.
 type Context struct {
-	TID  int // context number on this core
-	Role Role
+	TID  int  //rmtsnap:skip — identity fixed at AddContext
+	Role Role //rmtsnap:skip — identity fixed at AddContext
 	// Pair is the redundant pair this context belongs to (nil for
 	// RoleSingle).
-	Pair *rmt.Pair
+	Pair *rmt.Pair //rmtsnap:skip — pair wiring; the pair snapshots itself
 	// ProgID tags this logical program's address space in the shared
 	// memory hierarchy.
-	ProgID int
+	ProgID int //rmtsnap:skip — identity fixed at AddContext
 
 	// Arch is the functional oracle.
 	Arch *vm.Thread
@@ -29,7 +29,7 @@ type Context struct {
 	// only): the trailing copy releases both overlays when its stores
 	// drain, keeping the shared committed memory consistent with the
 	// slower copy's execution point.
-	PeerArch *vm.Thread
+	PeerArch *vm.Thread //rmtsnap:skip — wiring to the peer, which snapshots its own thread
 
 	// Stats accumulates per-thread counters.
 	Stats *stats.ThreadStats
@@ -37,7 +37,7 @@ type Context struct {
 	// IOWrite performs an uncached (STIO) device write when the store
 	// leaves the sphere of replication (exactly once, after comparison in
 	// redundant modes). nil discards the write.
-	IOWrite func(addr, val uint64)
+	IOWrite func(addr, val uint64) //rmtsnap:skip — device hook, outside simulated state
 
 	// Budget stops fetch after this many committed instructions
 	// (0 = unlimited).
@@ -61,7 +61,7 @@ type Context struct {
 
 	// decode is the static decode table, indexed by PC (built once per
 	// context at AddContext from the program's code image).
-	decode []decodedInst
+	decode []decodedInst //rmtsnap:skip — static table derived from the code image
 
 	// freeInsts is the context's dynInst recycling pool: instructions are
 	// returned here after retirement (stores: after drain) and reused by
@@ -69,7 +69,7 @@ type Context struct {
 	freeInsts []*dynInst
 	// poolDisabled turns recycling off (testing knob: the pooled and
 	// unpooled machines must be cycle-identical).
-	poolDisabled bool
+	poolDisabled bool //rmtsnap:skip — testing knob, not simulated state
 
 	// rmb is the rate-matching buffer: fetched, decoded instructions in
 	// program order awaiting rename.
@@ -99,7 +99,7 @@ type Context struct {
 
 	// Queue occupancies and caps (static division of Table 1's queues).
 	lqUsed, sqUsed int
-	lqCap, sqCap   int
+	lqCap, sqCap   int //rmtsnap:skip — static queue division fixed at AddContext
 
 	// iqOccupancy caches this thread's instruction-queue slot usage.
 	iqOccupancy int

@@ -12,8 +12,8 @@ import (
 // Core is one SMT processor core: shared fetch/rename/issue/retire hardware
 // multiplexed over up to four hardware thread contexts.
 type Core struct {
-	ID  int
-	cfg Config
+	ID  int    //rmtsnap:skip — identity fixed at construction
+	cfg Config //rmtsnap:skip — construction-time config
 
 	cycle uint64
 
@@ -46,16 +46,16 @@ type Core struct {
 	// DrainTap, when non-nil, observes every RoleSingle store as it leaves
 	// the core for the rest of the system — the signal a lockstep
 	// machine's central checker interposes on (internal/lockstep).
-	DrainTap func(addr, val uint64, size int)
+	DrainTap func(addr, val uint64, size int) //rmtsnap:skip — observer hook, outside simulated state
 
 	// Trace, when non-nil, receives a TraceEvent at each pipeline stage an
 	// instruction passes (internal/trace renders them).
-	Trace func(ev TraceEvent)
+	Trace func(ev TraceEvent) //rmtsnap:skip — observer hook, outside simulated state
 
 	// Probe, when non-nil, runs at the end of every Step — the hook the
 	// observability layer uses to sample occupancy histograms. It must not
 	// mutate machine state.
-	Probe func()
+	Probe func() //rmtsnap:skip — observer hook, outside simulated state
 }
 
 // TraceStage identifies a pipeline event for tracing.

@@ -29,15 +29,15 @@ type Machine struct {
 
 	// StopOnDetection ends the run at the first detected fault (used by
 	// the fault-injection experiments).
-	StopOnDetection bool
+	StopOnDetection bool //rmtsnap:skip — run policy, not machine state
 
 	// WatchdogCycles overrides the per-core config watchdog when non-zero.
-	WatchdogCycles uint64
+	WatchdogCycles uint64 //rmtsnap:skip — run policy, not machine state
 
 	// OnCycle, when non-nil, runs at the top of every simulated cycle
 	// (before the cores step). A non-nil return aborts the run with that
 	// error. The snapshot engine hangs checkpoint capture off this hook.
-	OnCycle func(cycle uint64) error
+	OnCycle func(cycle uint64) error //rmtsnap:skip — observer hook, outside simulated state
 
 	Cycles uint64
 
@@ -49,7 +49,7 @@ type Machine struct {
 
 	// ctxCache memoises allContexts: done() runs every cycle, and
 	// rebuilding the slice per call was a per-cycle allocation.
-	ctxCache []*Context
+	ctxCache []*Context //rmtsnap:skip — memo of wiring, rebuilt on demand
 }
 
 // DeadlockError reports a watchdog-detected lack of forward progress, with

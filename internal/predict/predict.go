@@ -21,7 +21,7 @@ const numThreads = 8 // max hardware thread contexts the predictors index
 // what matters is whether the fetch engine follows the correct address
 // stream, and the observed misprediction rate (the paper cites 14-28%).
 type LinePredictor struct {
-	mask    uint64
+	mask    uint64   //rmtsnap:skip — derived from construction-time table size
 	table   []uint64 // predicted next chunk-start PC, 0 = no prediction
 	Lookups stats.Counter
 	Wrong   stats.Counter
@@ -62,7 +62,7 @@ func (l *LinePredictor) Train(pc, next uint64) {
 // gshare table with a chooser, sized to the order of the base machine's
 // 208 Kbit budget. Global history is per hardware thread.
 type BranchPredictor struct {
-	mask    uint64
+	mask    uint64  //rmtsnap:skip — derived from construction-time table size
 	bimodal []uint8 // 2-bit counters
 	gshare  []uint8
 	choice  []uint8 // 2-bit: >=2 selects gshare
@@ -175,7 +175,7 @@ func (r *RAS) Pop() (uint64, bool) {
 // JumpPredictor predicts indirect-jump targets (non-return JMPs: switch
 // tables, dispatch loops) with a last-target table.
 type JumpPredictor struct {
-	mask  uint64
+	mask  uint64 //rmtsnap:skip — derived from construction-time table size
 	table []uint64
 
 	Lookups stats.Counter
@@ -205,14 +205,14 @@ func (j *JumpPredictor) Train(pc, target uint64) { j.table[j.idx(pc)] = target }
 // from Table 1: loads that have previously conflicted with a store are
 // placed in that store's set and made to wait for it.
 type StoreSets struct {
-	ssitMask uint64
+	ssitMask uint64   //rmtsnap:skip — derived from construction-time table size
 	ssit     []int32  // PC -> store set ID, -1 = none
 	lfst     []uint64 // store set ID -> tag of last fetched store in set (0 = none)
 
 	// ClearEvery implements the Chrysos/Emer cyclic clearing: after this
 	// many accesses all set assignments are forgotten, so a rare collision
 	// does not serialise a static load/store pair forever.
-	ClearEvery uint64
+	ClearEvery uint64 //rmtsnap:skip — construction-time config
 	accesses   uint64
 
 	Assignments stats.Counter

@@ -39,12 +39,12 @@ func CRTLatencies() Latencies {
 // different cores and only Latencies changes.
 type Pair struct {
 	// LogicalID identifies the logical program this pair runs.
-	LogicalID int
+	LogicalID int //rmtsnap:skip — identity fixed at construction
 	// LeadCore/LeadTID and TrailCore/TrailTID locate the two copies.
-	LeadCore, LeadTID   int
-	TrailCore, TrailTID int
+	LeadCore, LeadTID   int //rmtsnap:skip — wiring fixed at construction
+	TrailCore, TrailTID int //rmtsnap:skip — wiring fixed at construction
 
-	Lat Latencies
+	Lat Latencies //rmtsnap:skip — timing config fixed at construction
 
 	LVQ *LVQ
 	LPQ *LPQ
@@ -53,7 +53,7 @@ type Pair struct {
 
 	// PreferentialSpaceRedundancy biases the trailing thread's instructions
 	// to the opposite issue-queue half from their leading counterparts.
-	PreferentialSpaceRedundancy bool
+	PreferentialSpaceRedundancy bool //rmtsnap:skip — policy knob fixed at construction
 
 	// LeadCommitted mirrors the leading copy's committed instruction count
 	// (used by the slack-fetch ablation policy).

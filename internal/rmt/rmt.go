@@ -248,7 +248,7 @@ func (q *LPQ) Rollback() {
 // (a mispredicted-taken branch that fell through stays contiguous and keeps
 // extending the chunk).
 type Aggregator struct {
-	lpq *LPQ
+	lpq *LPQ //rmtsnap:skip — wiring to the queue, which snapshots itself
 
 	cur     Chunk
 	started bool
@@ -382,7 +382,7 @@ func (m *Mismatch) Error() string {
 // Tag 0 marks a free slot (store tags start at 1) — rather than maps. The
 // arrays grow to the high-water mark once and are then reused forever.
 type StoreComparator struct {
-	compareLatency uint64
+	compareLatency uint64 //rmtsnap:skip — timing config fixed at construction
 	lead           []StoreRecord
 	trail          []StoreRecord
 	nLead, nTrail  int

@@ -117,7 +117,7 @@ type overlayByte struct {
 // committed Memory. It models the architectural contents of the thread's
 // store queue: loads from the owning thread see overlay bytes first.
 type Overlay struct {
-	mem     *Memory
+	mem     *Memory //rmtsnap:skip — wiring to shared memory, which snapshots itself
 	pending map[uint64]overlayByte
 }
 

@@ -65,9 +65,9 @@ func (o *Outcome) IsLoad() bool { return o.Instr.IsLoad() }
 // program's committed memory.
 type Thread struct {
 	// ID is the hardware thread context number (for diagnostics).
-	ID int
+	ID int //rmtsnap:skip — identity fixed at construction
 	// Prog is the program being executed.
-	Prog *isa.Program
+	Prog *isa.Program //rmtsnap:skip — static code image, not machine state
 
 	PC     uint64
 	IntReg [isa.NumIntRegs]uint64
@@ -77,7 +77,7 @@ type Thread struct {
 	Mem *Overlay
 
 	// Corrupt, when non-nil, is invoked at each corruption point.
-	Corrupt CorruptFunc
+	Corrupt CorruptFunc //rmtsnap:skip — injection hook, outside simulated state
 
 	// Tolerant makes an out-of-range PC halt the thread instead of
 	// panicking. Fault-injection runs set it: a corrupted jump target can
@@ -89,7 +89,7 @@ type Thread struct {
 	// side-effecting, so redundant configurations wire the leading copy to
 	// the device and the trailing copy to a replication bridge. nil reads
 	// as zero.
-	IORead func(addr uint64) uint64
+	IORead func(addr uint64) uint64 //rmtsnap:skip — device hook, outside simulated state
 
 	// Seq counts dynamically executed instructions.
 	Seq uint64

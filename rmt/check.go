@@ -33,6 +33,38 @@ func CheckKernel(name string) ([]ProgramIssue, error) {
 	return analysis.VerifyProgram(p), nil
 }
 
+// VulnerabilityProfile is the per-program result of the static ACE
+// analysis: which fault-injection sites are provably masked, the residual
+// ACE fraction, and live-register density. See analysis.AnalyzeProgram.
+type VulnerabilityProfile = analysis.VulnerabilityProfile
+
+// MaskedSite is one provably-masked injection site in a profile.
+type MaskedSite = analysis.MaskedSite
+
+// AnalyzeProgram runs the static liveness/ACE analysis over an assembled
+// program and returns its vulnerability profile — the per-region masking
+// information adaptive RMT schemes consume, and the basis for
+// WithStaticPruning in fault campaigns. The program must pass structural
+// verification (see CheckProgram).
+func AnalyzeProgram(p *isa.Program) (*VulnerabilityProfile, error) {
+	return analysis.AnalyzeProgram(p)
+}
+
+// AnalyzeKernel analyzes one registered workload kernel by name. Unknown
+// names are an error.
+func AnalyzeKernel(name string) (*VulnerabilityProfile, error) {
+	p, err := program.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := analysis.AnalyzeProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	prof.Name = name
+	return prof, nil
+}
+
 func issuesToError(name string, issues []ProgramIssue) error {
 	if len(issues) == 0 {
 		return nil

@@ -128,6 +128,8 @@ type config struct {
 	checkpointEvery uint64
 	checkpointSink  func(cycle uint64, snapshot []byte) error
 	resume          []byte
+
+	staticPruning bool
 }
 
 // Default sizes for Run/Sweep/BaseIPC when no WithBudget/WithWarmup option
@@ -217,6 +219,16 @@ func WithCheckpoint(every uint64, sink func(cycle uint64, snapshot []byte) error
 		c.checkpointSink = sink
 	}
 }
+
+// WithStaticPruning lets fault campaigns classify trials at
+// statically-masked injection sites (see AnalyzeProgram) as Masked without
+// replaying them. The summary is byte-identical to the unpruned campaign —
+// pruning only skips work whose outcome is already proven, falling back to
+// replay for any kernel the analysis cannot cover. Execution policy, not
+// part of the experiment definition: like WithCheckpoint it applies to the
+// local engine only and is ignored by Client (the daemon's cache key is the
+// campaign request, which pruning does not change).
+func WithStaticPruning() Option { return func(c *config) { c.staticPruning = true } }
 
 // Resume makes Run continue from a snapshot produced by WithCheckpoint
 // instead of starting fresh. The caller must pass the same Spec and sizing

@@ -84,9 +84,10 @@ func Campaign(ctx context.Context, cs CampaignSpec, opts ...Option) (*CampaignSu
 		NoStoreComparison: cs.Spec.NoStoreComparison,
 	}
 	fopts := fault.CampaignOptions{
-		Parallelism: c.parallelism,
-		Progress:    c.progress,
-		Cancel:      ctx.Err,
+		Parallelism:           c.parallelism,
+		Progress:              c.progress,
+		Cancel:                ctx.Err,
+		PruneStaticallyMasked: c.staticPruning,
 	}
 	if c.report != nil {
 		report := c.report
