@@ -1,0 +1,135 @@
+// Command progen emits generated workload kernels: seeded, deterministic
+// random programs that pass the full static verifier by construction and
+// halt within a declared dynamic-instruction bound. For each selected
+// seed it can write the RMTBIN1 image (loadable by rmtasm -bin and any
+// image consumer) and prints a characterisation profile — instruction
+// mix, branch behaviour, memory footprint, miss-rate proxy, and an
+// ILP estimate from a unit-latency dependence scoreboard — as a JSON
+// array on stdout.
+//
+// Seeds are chosen either explicitly or as a corpus: -corpus draws n
+// seeds from a master seed with the same splitmix64 expansion the test
+// batteries use, so `progen -corpus 0xC0FFEE -n 32` reproduces exactly
+// the corpus EXPERIMENTS.md tabulates.
+//
+//	progen -seeds 7,11                    # characterise two explicit seeds
+//	progen -corpus 0xC0FFEE -n 32         # the documented 32-kernel corpus
+//	progen -corpus 0xC0FFEE -n 4 -out dir # also write dir/gen_<seed>.rmtbin
+//	progen -seeds 7 -verify               # re-run the static verifier too
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis" //rmtlint:allow layering — optional re-verification of emitted kernels
+	"repro/internal/isa"      //rmtlint:allow layering — serialises generated programs to RMTBIN1
+	"repro/internal/progen"   //rmtlint:allow layering — the generator this command fronts
+)
+
+func main() {
+	var (
+		seedsFlag  = flag.String("seeds", "", "comma-separated explicit seeds (decimal or 0x hex)")
+		corpusFlag = flag.String("corpus", "", "master seed: expand to -n kernel seeds via splitmix64")
+		nFlag      = flag.Int("n", 32, "corpus size when -corpus is set")
+		outDir     = flag.String("out", "", "directory to write one RMTBIN1 image per kernel (gen_<seed>.rmtbin)")
+		verify     = flag.Bool("verify", false, "re-run the static verifier over each kernel (belt and braces: generation guarantees it)")
+	)
+	flag.Parse()
+
+	seeds, err := selectSeeds(*seedsFlag, *corpusFlag, *nFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(seeds) == 0 {
+		fatalf("no seeds selected: pass -seeds or -corpus (see -help)")
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	profiles := make([]*progen.Profile, 0, len(seeds))
+	for _, seed := range seeds {
+		k := progen.Generate(seed)
+		if *verify {
+			if issues := analysis.VerifyProgram(k.Prog); len(issues) != 0 {
+				fatalf("%s: %d verifier issues, first: %v", k.Prog.Name, len(issues), issues[0])
+			}
+		}
+		p, err := progen.Characterize(k)
+		if err != nil {
+			fatalf("%s: %v", k.Prog.Name, err)
+		}
+		profiles = append(profiles, p)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, fmt.Sprintf("gen_%d.rmtbin", seed))
+			f, err := os.Create(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := isa.WriteImage(f, k.Prog); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("close %s: %v", path, err)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(profiles); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// selectSeeds resolves the two seed-selection modes; they are mutually
+// exclusive so a command line is always one reproducible description.
+func selectSeeds(seedsFlag, corpusFlag string, n int) ([]uint64, error) {
+	if seedsFlag != "" && corpusFlag != "" {
+		return nil, fmt.Errorf("-seeds and -corpus are mutually exclusive")
+	}
+	if corpusFlag != "" {
+		master, err := parseSeed(corpusFlag)
+		if err != nil {
+			return nil, fmt.Errorf("-corpus: %w", err)
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("-n must be positive, got %d", n)
+		}
+		return progen.CorpusSeeds(master, n), nil
+	}
+	var seeds []uint64
+	for _, s := range strings.Split(seedsFlag, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		seed, err := parseSeed(s)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: %w", err)
+		}
+		seeds = append(seeds, seed)
+	}
+	return seeds, nil
+}
+
+func parseSeed(s string) (uint64, error) {
+	if rest, ok := strings.CutPrefix(s, "0x"); ok {
+		return strconv.ParseUint(rest, 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "progen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -11,7 +11,9 @@ import (
 //
 //	layer 0  isa, stats, runner, metrics, snap (leaves: no repro imports)
 //	layer 1  vm, program, predict, mem, rmt (branch/LVQ/SQ queues), analysis
-//	layer 2  pipeline
+//	layer 2  pipeline; progen (generated workloads: builds on vm for
+//	         characterisation replay and falls through to program for
+//	         registry names)
 //	layer 3  lockstep, trace
 //	layer 4  sim (assembles machines and wires trace/metrics observability)
 //	layer 5  fault, cliflags
@@ -53,6 +55,7 @@ var layerOf = map[string]int{
 	ModPath + "/internal/rmt":      1,
 	ModPath + "/internal/analysis": 1,
 	ModPath + "/internal/pipeline": 2,
+	ModPath + "/internal/progen":   2,
 	ModPath + "/internal/lockstep": 3,
 	ModPath + "/internal/trace":    3,
 	ModPath + "/internal/sim":      4,

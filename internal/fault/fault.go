@@ -19,7 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/analysis"
-	"repro/internal/program"
+	"repro/internal/progen"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/vm"
@@ -445,7 +445,7 @@ func staticMaskedSites(spec sim.Spec) ([]map[int]bool, error) {
 	for i, name := range spec.Programs {
 		sites, ok := cache[name]
 		if !ok {
-			prog, err := program.Build(name)
+			prog, err := progen.Build(name)
 			if err != nil {
 				return nil, err
 			}

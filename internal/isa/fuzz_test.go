@@ -12,11 +12,14 @@ import (
 	"testing"
 
 	"repro/internal/isa"
+	"repro/internal/progen"
 	"repro/internal/program"
 )
 
-// kernelImages serialises every registered kernel — the well-formed half of
-// the corpus.
+// kernelImages serialises every registered kernel plus a handful of
+// generated ones — the well-formed half of the corpus. The generated
+// images exercise loader paths the curated kernels cannot: larger data
+// segments (the LCG window) and denser label-resolved branch forests.
 func kernelImages(f *testing.F) [][]byte {
 	var out [][]byte
 	for _, name := range program.Names() {
@@ -24,6 +27,13 @@ func kernelImages(f *testing.F) [][]byte {
 		var buf bytes.Buffer
 		if err := isa.WriteImage(&buf, prog); err != nil {
 			f.Fatalf("serialise %s: %v", name, err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	for _, seed := range progen.CorpusSeeds(0xC0FFEE, 6) {
+		var buf bytes.Buffer
+		if err := isa.WriteImage(&buf, progen.Generate(seed).Prog); err != nil {
+			f.Fatalf("serialise gen:%d: %v", seed, err)
 		}
 		out = append(out, buf.Bytes())
 	}

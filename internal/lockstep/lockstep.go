@@ -25,7 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/pipeline"
-	"repro/internal/program"
+	"repro/internal/progen"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -133,7 +133,7 @@ func New(cfg Config, programs []string) (*Machine, error) {
 		DivergenceWindow: 512,
 	}
 	for i, name := range programs {
-		prog, err := program.Build(name)
+		prog, err := progen.Build(name)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,592 @@
+// Package progen is the workload engine: a seeded, deterministic random
+// kernel generator whose output is verifier-clean by construction. Every
+// generated program passes the static verifier (analysis.VerifyProgram /
+// rmt.CheckProgram) and halts within a declared dynamic-instruction bound,
+// because the generator only composes structures that discharge each check:
+//
+//   - Structured control flow only: counted loops with reserved counter
+//     registers the loop body never writes, if/else diamonds whose arms
+//     both rejoin, and a final reachable HALT. No indirect jumps, so
+//     reachability and halt structure hold trivially.
+//   - Every register a generated instruction reads is written first: the
+//     preamble loads every working register (def-before-use), loop
+//     counters are loaded at loop entry, and scratch registers are written
+//     inside the item that reads them. R31/F31 are never destinations.
+//   - Memory accesses land in a power-of-two data window that the initial
+//     data image covers entirely: each access masks a 64-bit LCG register
+//     into the window and adds the window base, so no effective address
+//     can leave [base, base+window) — dynamically bounded even though the
+//     verifier's constant propagation sees the addresses as varying.
+//   - Loop trip counts are constants, so the total dynamic instruction
+//     count is compositionally bounded: MaxDynInstr is computed from the
+//     tree (worst-case arm of every diamond, declared trips of every
+//     loop) while the program is built.
+//
+// Generated kernels are addressed by name — "gen:<seed>" — through Build,
+// which falls through to the hand-written registry (internal/program) for
+// every other name. The sim, fault-campaign and rmt facade layers resolve
+// workloads through this package, so a generated kernel can appear
+// anywhere a registry kernel can: single runs, multi-program CRT mixes,
+// fault campaigns, and rmtd requests.
+package progen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// NamePrefix marks generated-kernel names: "gen:<seed>" with the seed in
+// canonical decimal.
+const NamePrefix = "gen:"
+
+// Name returns the canonical name of the generated kernel with this seed.
+func Name(seed uint64) string { return NamePrefix + strconv.FormatUint(seed, 10) }
+
+// ParseName extracts the seed from a generated-kernel name. Only the
+// canonical spelling is accepted (decimal, no leading zeros, no sign), so
+// each generated kernel has exactly one name — distinct names are distinct
+// experiments for content-addressed caches.
+func ParseName(name string) (uint64, bool) {
+	s, ok := strings.CutPrefix(name, NamePrefix)
+	if !ok {
+		return 0, false
+	}
+	seed, err := strconv.ParseUint(s, 10, 64)
+	if err != nil || s != strconv.FormatUint(seed, 10) {
+		return 0, false
+	}
+	return seed, true
+}
+
+// IsGenerated reports whether name addresses a generated kernel.
+func IsGenerated(name string) bool {
+	_, ok := ParseName(name)
+	return ok
+}
+
+// Build resolves a workload name: generated kernels by seed, everything
+// else through the hand-written registry. This is the single resolution
+// point the machine-building layers use.
+func Build(name string) (*isa.Program, error) {
+	if seed, ok := ParseName(name); ok {
+		return Generate(seed).Prog, nil
+	}
+	return program.Build(name)
+}
+
+// MustBuild is Build that panics on unknown names.
+func MustBuild(name string) *isa.Program {
+	p, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Known reports whether name resolves to a workload: a generated kernel or
+// a registered one. Cheap (no program is assembled), for request
+// validation.
+func Known(name string) bool {
+	if IsGenerated(name) {
+		return true
+	}
+	_, err := program.Get(name)
+	return err == nil
+}
+
+// Kernel is one generated workload.
+type Kernel struct {
+	// Seed drew every structural decision; Name(Seed) rebuilds it.
+	Seed uint64
+	// Prog is the assembled program (Prog.Name == Name(Seed)).
+	Prog *isa.Program
+	// MaxDynInstr is the declared halt bound: the kernel commits at most
+	// this many dynamic instructions before its HALT retires, on every
+	// run. Computed compositionally during generation (worst-case diamond
+	// arms, declared loop trips), never measured.
+	MaxDynInstr uint64
+	// WindowBytes is the data window size; every load and store lands in
+	// [windowBase, windowBase+WindowBytes).
+	WindowBytes uint64
+}
+
+// CorpusSeeds derives n kernel seeds from one corpus seed (splitmix64), so
+// test batteries can pin a whole corpus with a single recorded constant.
+func CorpusSeeds(corpus uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	x := corpus
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		out[i] = z ^ (z >> 31)
+	}
+	return out
+}
+
+// MixPairs draws n two-program mixes of generated kernels — the shape the
+// paper's cross-coupled CRT configurations run.
+func MixPairs(seed uint64, n int) [][2]string {
+	r := rng(seed | 1)
+	out := make([][2]string, n)
+	for i := range out {
+		a := r.next()
+		b := r.next()
+		if b == a {
+			b = a + 1
+		}
+		out[i] = [2]string{Name(a), Name(b)}
+	}
+	return out
+}
+
+// MixQuads draws n four-program mixes — the 4-context SMT shape.
+func MixQuads(seed uint64, n int) [][4]string {
+	r := rng(seed | 1)
+	out := make([][4]string, n)
+	for i := range out {
+		seen := map[uint64]bool{}
+		for k := 0; k < 4; k++ {
+			s := r.next()
+			for seen[s] {
+				s++
+			}
+			seen[s] = true
+			out[i][k] = Name(s)
+		}
+	}
+	return out
+}
+
+// rng is the xorshift64 generator every structural decision is drawn from.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+// rangeN draws uniformly from [lo, hi].
+func (r *rng) rangeN(lo, hi uint64) uint64 {
+	return lo + r.next()%(hi-lo+1)
+}
+
+// Fixed register assignment. Working registers evolve freely; the address
+// path (lcg, base, addr scratch) is disjoint from them so a working-value
+// excursion (FP bits, compare results) can never form an address.
+const (
+	firstWorkInt = isa.R1  // working int registers: R1..R1+nInt-1
+	condScratch  = isa.R12 // if/else condition values
+	addrScratch  = isa.R13 // effective-address assembly
+	cvtScratch   = isa.R14 // FP preamble integer staging
+	lcgReg       = isa.R16 // address-stream LCG state
+	baseReg      = isa.R17 // data window base
+	loopReg0     = isa.R20 // loop counters: R20+depth, body loops
+	outerReg     = isa.R26 // outer (sizing) loop counter
+)
+
+// windowBase is where the data window starts; the verifier's segment model
+// starts at 4096, so the whole window is inside the initial data image.
+const windowBase = 4096
+
+// generation caps.
+const (
+	maxLoopDepth = 2 // nested counted loops inside the outer loop
+	// targetDyn sizes the outer loop so kernels run long enough to fill
+	// default test budgets before halting, drawn from [minTarget,
+	// maxTarget].
+	minTargetDyn = 60000
+	maxTargetDyn = 150000
+)
+
+// gen carries one generation's state.
+type gen struct {
+	r       rng
+	b       *isa.Builder
+	useFP   bool
+	nInt    int    // working int registers
+	nFP     int    // working FP registers
+	window  uint64 // data window bytes (power of two >= 256)
+	labelID int
+}
+
+// block is one generated code region: emit writes its instructions,
+// maxCost bounds the dynamic instructions one execution of it can commit.
+type block struct {
+	maxCost uint64
+	emit    func()
+}
+
+// seq concatenates blocks.
+func seq(blocks ...block) block {
+	var cost uint64
+	for _, bl := range blocks {
+		cost += bl.maxCost
+	}
+	return block{maxCost: cost, emit: func() {
+		for _, bl := range blocks {
+			bl.emit()
+		}
+	}}
+}
+
+// Generate builds the kernel for seed. The same seed always yields the
+// same program, bit for bit.
+func Generate(seed uint64) *Kernel {
+	g := &gen{
+		r: rng(seed | 1),
+		b: isa.NewBuilder(Name(seed)),
+	}
+	g.window = 256 << g.r.rangeN(0, 4) // 256B..4KiB footprint diversity
+	g.nInt = int(g.r.rangeN(4, 8))
+	g.useFP = g.r.next()%2 == 0
+	g.nFP = int(g.r.rangeN(3, 6))
+
+	preamble := g.preamble()
+
+	// The body: a handful of top-level constructs, plus one guaranteed
+	// store and one guaranteed load so every run crosses the
+	// sphere-of-replication output boundary and the replication input
+	// path.
+	parts := []block{g.memOp(true), g.memOp(false)}
+	for n := g.r.rangeN(2, 4); n > 0; n-- {
+		parts = append(parts, g.construct(0))
+	}
+	body := seq(parts...)
+
+	// Size the outer loop so the total dynamic length lands near the
+	// drawn target: enough to fill default budgets, cheap to replay.
+	target := g.r.rangeN(minTargetDyn, maxTargetDyn)
+	perIter := body.maxCost + 2 // body + Addi + Bne
+	trips := target / perIter
+	if trips < 2 {
+		trips = 2
+	}
+
+	b := g.b
+	preamble.emit()
+	b.Ldi(outerReg, int64(trips))
+	b.Label("outer")
+	body.emit()
+	b.Addi(outerReg, outerReg, -1)
+	b.Bne(outerReg, "outer")
+	b.Halt()
+
+	prog, err := b.Finish()
+	if err != nil {
+		// Unreachable by construction; a failure here is a generator bug.
+		panic(fmt.Sprintf("progen: seed %d produced an unassemblable program: %v", seed, err))
+	}
+	return &Kernel{
+		Seed:        seed,
+		Prog:        prog,
+		MaxDynInstr: preamble.maxCost + 1 + trips*perIter + 1,
+		WindowBytes: g.window,
+	}
+}
+
+// preamble defines every register the body may read and the initial data
+// image covering the whole window, discharging the def-before-use and
+// memory-bounds checks by construction.
+func (g *gen) preamble() block {
+	r := &g.r
+	ints := make([]int64, g.nInt)
+	for i := range ints {
+		ints[i] = int64(r.next() & 0x7fffffff)
+	}
+	fps := make([]int64, g.nFP)
+	for i := range fps {
+		fps[i] = int64(r.rangeN(1, 1<<20))
+	}
+	lcgInit := int64(r.next() & 0x3fffffff)
+	data := make([]byte, g.window)
+	for i := range data {
+		data[i] = byte(r.next())
+	}
+
+	cost := uint64(g.nInt + 2)
+	if g.useFP {
+		cost += uint64(2 * g.nFP)
+	}
+	return block{maxCost: cost, emit: func() {
+		b := g.b
+		b.InitData(windowBase, data)
+		for i, v := range ints {
+			b.Ldi(firstWorkInt+isa.Reg(i), v)
+		}
+		b.Ldi(lcgReg, lcgInit)
+		b.Ldi(baseReg, windowBase)
+		if g.useFP {
+			for i, v := range fps {
+				b.Ldi(cvtScratch, v)
+				b.Cvtqf(isa.Reg(i+1), cvtScratch) // F1..FnFP
+			}
+		}
+	}}
+}
+
+// construct draws one control construct (or a straight-line run) at the
+// given loop-nesting depth.
+func (g *gen) construct(depth int) block {
+	switch g.r.rangeN(0, 3) {
+	case 0:
+		if depth < maxLoopDepth {
+			return g.loop(depth)
+		}
+		return g.straight()
+	case 1:
+		return g.diamond(depth)
+	default:
+		return g.straight()
+	}
+}
+
+// loop emits a counted loop: the counter register is reserved for this
+// nesting depth and no body item ever writes it, so the declared trip
+// count is exact.
+func (g *gen) loop(depth int) block {
+	trips := g.r.rangeN(2, 6)
+	var parts []block
+	for n := g.r.rangeN(1, 3); n > 0; n-- {
+		parts = append(parts, g.construct(depth+1))
+	}
+	body := seq(parts...)
+	counter := loopReg0 + isa.Reg(depth)
+	top := g.label("loop")
+	return block{maxCost: 1 + trips*(body.maxCost+2), emit: func() {
+		b := g.b
+		b.Ldi(counter, int64(trips))
+		b.Label(top)
+		body.emit()
+		b.Addi(counter, counter, -1)
+		b.Bne(counter, top)
+	}}
+}
+
+// diamond emits if/else on a working-register condition; both arms are
+// statically reachable whatever the dynamic value, and the declared cost
+// is the worse arm.
+func (g *gen) diamond(depth int) block {
+	cond := g.workInt()
+	// Branch flavour: direct test of the working value, or a compare
+	// against a drawn immediate staged through the condition scratch.
+	flavour := g.r.rangeN(0, 2)
+	imm := int64(g.r.next() & 0xffff)
+	thenB := g.straight()
+	var elseB block
+	if depth < maxLoopDepth && g.r.rangeN(0, 2) == 0 {
+		elseB = g.loop(depth)
+	} else {
+		elseB = g.straight()
+	}
+	elseL := g.label("else")
+	joinL := g.label("join")
+
+	condCost := uint64(0)
+	if flavour == 2 {
+		condCost = 1
+	}
+	thenCost := thenB.maxCost + 1 // + Br join
+	elseCost := elseB.maxCost
+	worst := thenCost
+	if elseCost > worst {
+		worst = elseCost
+	}
+	return block{maxCost: condCost + 1 + worst, emit: func() {
+		b := g.b
+		switch flavour {
+		case 0:
+			b.Beq(cond, elseL)
+		case 1:
+			b.Blt(cond, elseL)
+		default:
+			b.Cmplti(condScratch, cond, imm)
+			b.Bne(condScratch, elseL)
+		}
+		thenB.emit()
+		b.Br(joinL)
+		b.Label(elseL)
+		elseB.emit()
+		b.Label(joinL)
+	}}
+}
+
+// straight emits a run of dependency-bearing items: ALU mixes, FP chains,
+// windowed memory traffic.
+func (g *gen) straight() block {
+	var parts []block
+	for n := g.r.rangeN(2, 5); n > 0; n-- {
+		switch g.r.rangeN(0, 5) {
+		case 0, 1:
+			parts = append(parts, g.aluRun())
+		case 2:
+			parts = append(parts, g.memOp(g.r.next()%2 == 0))
+		case 3:
+			if g.useFP {
+				parts = append(parts, g.fpRun())
+			} else {
+				parts = append(parts, g.aluRun())
+			}
+		case 4:
+			parts = append(parts, g.aluRun())
+		default:
+			parts = append(parts, block{maxCost: 1, emit: func() { g.b.Mb() }})
+		}
+	}
+	return seq(parts...)
+}
+
+// workInt draws a working integer register.
+func (g *gen) workInt() isa.Reg {
+	return firstWorkInt + isa.Reg(g.r.rangeN(0, uint64(g.nInt-1)))
+}
+
+// workFP draws a working FP register (F1..FnFP).
+func (g *gen) workFP() isa.Reg {
+	return isa.Reg(g.r.rangeN(1, uint64(g.nFP)))
+}
+
+// aluRun emits 2..6 integer ops over the working set.
+func (g *gen) aluRun() block {
+	type op struct {
+		kind       uint64
+		rd, ra, rb isa.Reg
+		imm        int64
+	}
+	n := g.r.rangeN(2, 6)
+	ops := make([]op, n)
+	for i := range ops {
+		ops[i] = op{
+			kind: g.r.rangeN(0, 9),
+			rd:   g.workInt(),
+			ra:   g.workInt(),
+			rb:   g.workInt(),
+			imm:  int64(g.r.next() & 0xfffff),
+		}
+	}
+	return block{maxCost: n, emit: func() {
+		b := g.b
+		for _, o := range ops {
+			switch o.kind {
+			case 0:
+				b.Add(o.rd, o.ra, o.rb)
+			case 1:
+				b.Sub(o.rd, o.ra, o.rb)
+			case 2:
+				b.Xor(o.rd, o.ra, o.rb)
+			case 3:
+				b.Mul(o.rd, o.ra, o.rb)
+			case 4:
+				b.Addi(o.rd, o.ra, o.imm)
+			case 5:
+				b.Andi(o.rd, o.ra, o.imm)
+			case 6:
+				b.Srli(o.rd, o.ra, o.imm&31)
+			case 7:
+				b.Cmplt(o.rd, o.ra, o.rb)
+			case 8:
+				b.Ori(o.rd, o.ra, o.imm)
+			default:
+				b.Slli(o.rd, o.ra, o.imm&15)
+			}
+		}
+	}}
+}
+
+// fpRun emits 2..4 FP ops over the working FP set. Division and square
+// root are excluded to keep values finite-or-infinite without NaN payload
+// subtleties; add/sub/mul/neg are bit-deterministic IEEE.
+func (g *gen) fpRun() block {
+	type op struct {
+		kind       uint64
+		fd, fa, fb isa.Reg
+		ia         isa.Reg
+	}
+	n := g.r.rangeN(2, 4)
+	ops := make([]op, n)
+	for i := range ops {
+		ops[i] = op{
+			kind: g.r.rangeN(0, 4),
+			fd:   g.workFP(),
+			fa:   g.workFP(),
+			fb:   g.workFP(),
+			ia:   g.workInt(),
+		}
+	}
+	return block{maxCost: n, emit: func() {
+		b := g.b
+		for _, o := range ops {
+			switch o.kind {
+			case 0:
+				b.Fadd(o.fd, o.fa, o.fb)
+			case 1:
+				b.Fsub(o.fd, o.fa, o.fb)
+			case 2:
+				b.Fmul(o.fd, o.fa, o.fb)
+			case 3:
+				b.Fneg(o.fd, o.fa)
+			default:
+				b.Cvtqf(o.fd, o.ia)
+			}
+		}
+	}}
+}
+
+// memOp emits one windowed access: step the LCG, mask the state into the
+// window, add the base, access. The mask keeps every effective address in
+// [windowBase, windowBase+window) whatever the LCG state, which is the
+// whole memory-safety argument — no verifier-visible constant is needed.
+func (g *gen) memOp(store bool) block {
+	r := &g.r
+	mulC := int64(1103515245)
+	addC := int64(r.rangeN(1, 1<<15) | 1)
+	kind := r.rangeN(0, 2) // 0: 8-byte int, 1: byte, 2: FP 8-byte
+	if kind == 2 && !g.useFP {
+		kind = 0
+	}
+	mask := int64(g.window - 8) // aligned 8-byte slots
+	if kind == 1 {
+		mask = int64(g.window - 1) // any byte
+	}
+	val := g.workInt()
+	fval := isa.Reg(1)
+	if g.useFP {
+		fval = g.workFP()
+	}
+	return block{maxCost: 5, emit: func() {
+		b := g.b
+		b.Muli(lcgReg, lcgReg, mulC)
+		b.Addi(lcgReg, lcgReg, addC)
+		b.Andi(addrScratch, lcgReg, mask)
+		b.Add(addrScratch, addrScratch, baseReg)
+		switch {
+		case store && kind == 0:
+			b.Stq(val, addrScratch, 0)
+		case store && kind == 1:
+			b.Stb(val, addrScratch, 0)
+		case store:
+			b.Fstq(fval, addrScratch, 0)
+		case kind == 0:
+			b.Ldq(val, addrScratch, 0)
+		case kind == 1:
+			b.Ldb(val, addrScratch, 0)
+		default:
+			b.Fldq(fval, addrScratch, 0)
+		}
+	}}
+}
+
+// label mints a unique label.
+func (g *gen) label(stem string) string {
+	g.labelID++
+	return fmt.Sprintf("%s%d", stem, g.labelID)
+}

@@ -1,0 +1,65 @@
+package program
+
+import (
+	"sort"
+	"testing"
+)
+
+// Invariants on the paper's multi-program combination tables (§6.2):
+// every name resolves in the registry, no combination repeats a program,
+// no two combinations coincide, and the counts match the paper's draws
+// (C(4,2) = 6 pairs, C(5,4) = 5 quadruples).
+
+func TestMultiprogramPairsInvariants(t *testing.T) {
+	pairs := MultiprogramPairs()
+	if len(pairs) != 6 {
+		t.Fatalf("got %d pairs, want 6 (all pairs from a 4-program pool)", len(pairs))
+	}
+	seen := map[[2]string]bool{}
+	for _, pr := range pairs {
+		if pr[0] == pr[1] {
+			t.Errorf("pair %v runs the same program twice", pr)
+		}
+		// Order-insensitive duplicate check: {a,b} and {b,a} are the same
+		// experiment.
+		key := pr
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seen[key] {
+			t.Errorf("duplicate pair %v", pr)
+		}
+		seen[key] = true
+		for _, n := range pr {
+			if _, err := Build(n); err != nil {
+				t.Errorf("pair %v: %q does not resolve: %v", pr, n, err)
+			}
+		}
+	}
+}
+
+func TestFourProgramCombosInvariants(t *testing.T) {
+	combos := FourProgramCombos()
+	if len(combos) != 5 {
+		t.Fatalf("got %d combos, want 5 (leave-one-out from a 5-program pool)", len(combos))
+	}
+	seen := map[[4]string]bool{}
+	for _, c := range combos {
+		names := map[string]bool{}
+		for _, n := range c {
+			if names[n] {
+				t.Errorf("combo %v repeats %q", c, n)
+			}
+			names[n] = true
+			if _, err := Build(n); err != nil {
+				t.Errorf("combo %v: %q does not resolve: %v", c, n, err)
+			}
+		}
+		key := c
+		sort.Strings(key[:])
+		if seen[key] {
+			t.Errorf("duplicate combo %v", c)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,69 @@
+package program
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// earlyHaltKernel is the minimized reproducer for the sim-layer
+// completion bug shaken out by the generated-kernel battery (progen
+// corpus seed 0xC0FFEE, first corpus kernel): sim.Machine.finishedAll
+// ignored Arch.Halted, so any kernel that halts before committing its
+// budget made Run report a spurious cycle-cap failure. The smallest
+// shape that triggers it is a counted loop that halts almost
+// immediately — 8 dynamic instructions against any budget above 8.
+func earlyHaltKernel(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("earlyhalt")
+	b.Ldi(1, 3)
+	b.Label("top")
+	b.Addi(1, 1, -1)
+	b.Bne(1, "top")
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEarlyHaltRegressionImage pins the checked-in RMTBIN1 image to the
+// in-tree builder form (so the testdata cannot drift silently) and
+// replays it: it must halt at exactly 8 dynamic instructions, the shape
+// that distinguishes "program finished early" from "run hit the cycle
+// cap".
+func TestEarlyHaltRegressionImage(t *testing.T) {
+	want := earlyHaltKernel(t)
+	var wantImg bytes.Buffer
+	if err := isa.WriteImage(&wantImg, want); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "earlyhalt.rmtbin")
+	gotImg, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v (regenerate by writing earlyHaltKernel via isa.WriteImage)", path, err)
+	}
+	if !bytes.Equal(gotImg, wantImg.Bytes()) {
+		t.Fatalf("%s drifted from the in-tree builder form (%d vs %d bytes)", path, len(gotImg), wantImg.Len())
+	}
+
+	p, err := isa.ReadImage(bytes.NewReader(gotImg), "earlyhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	memImg := vm.NewMemory()
+	vm.Load(p, memImg)
+	th := vm.NewThread(0, p, memImg)
+	for !th.Halted && th.Seq < 100 {
+		th.Step()
+	}
+	if !th.Halted || th.Seq != 8 {
+		t.Fatalf("earlyhalt: halted=%v at seq %d, want halt at 8", th.Halted, th.Seq)
+	}
+}

@@ -95,6 +95,11 @@ func FuzzCanonicalKey(f *testing.F) {
 	f.Add([]byte(`{"mode":"lockstep","programs":["li"],"checker_latency":8}`))
 	f.Add([]byte(`{"warmup":1,"budget":2,"programs":["compress"],"mode":"base2"}`))
 	f.Add([]byte(`{"mode":"base","programs":["fpppp","applu","mgrid"],"per_thread_sq":true,"no_store_comparison":true}`))
+	// Generated kernels are first-class experiment identities: their names
+	// must canonicalise and key exactly like registry names.
+	f.Add([]byte(`{"mode":"srt","programs":["gen:7"],"budget":1000,"warmup":500}`))
+	f.Add([]byte(`{"mode":"crt","programs":["gen:12926140234400183891","gen:5988186966546787131"],"psr":true}`))
+	f.Add([]byte(`{"mode":"base","programs":["gen:0","gcc","gen:18446744073709551615"]}`))
 
 	kernels := rmt.Kernels()
 

@@ -49,13 +49,9 @@ func (s *SpecWire) validate() (rmt.Mode, error) {
 	if len(s.Programs) == 0 {
 		return 0, fmt.Errorf("spec has no programs")
 	}
-	known := make(map[string]bool, len(rmt.Kernels()))
-	for _, k := range rmt.Kernels() {
-		known[k] = true
-	}
 	for _, p := range s.Programs {
-		if !known[p] {
-			return 0, fmt.Errorf("unknown kernel %q (see /healthz for the server, rmt.Kernels() for the list)", p)
+		if !rmt.KnownKernel(p) {
+			return 0, fmt.Errorf("unknown kernel %q (see rmt.Kernels() for the registry; generated kernels are \"gen:<seed>\")", p)
 		}
 	}
 	return mode, nil

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/pipeline"
+	"repro/internal/progen"
 	"repro/internal/program"
 	"repro/internal/vm"
 )
@@ -26,7 +27,7 @@ type refReplay struct {
 
 func replayKernel(t *testing.T, name string, seq uint64) *refReplay {
 	t.Helper()
-	prog := program.MustBuild(name)
+	prog := progen.MustBuild(name) // registry kernels and generated "gen:<seed>" names alike
 	memImg := vm.NewMemory()
 	vm.Load(prog, memImg)
 	r := &refReplay{th: vm.NewThread(0, prog, memImg)}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/pipeline"
+	"repro/internal/progen"
+)
+
+// The generated-corpus differential battery: the fixed-seed 64-kernel
+// corpus (progen.CorpusSeeds(genCorpusSeed, 64), the constant recorded in
+// EXPERIMENTS.md) runs through the same metamorphic oracle as the
+// hand-written suite — every machine organisation is pure timing, so each
+// copy's architectural state must be bit-identical to a functional replay
+// — plus snapshot/restore byte-identity. Randomly generated kernels reach
+// comparator/replication/forwarding interleavings the 18 curated kernels
+// cannot.
+
+const genCorpusSeed = 0xC0FFEE
+
+func genCorpus(n int) []string {
+	seeds := progen.CorpusSeeds(genCorpusSeed, n)
+	names := make([]string, n)
+	for i, s := range seeds {
+		names[i] = progen.Name(s)
+	}
+	return names
+}
+
+// TestGenMetamorphicSRT runs the full 64-kernel corpus as SRT pairs:
+// lead and trail must both match the functional replay, and no
+// comparator may fire fault-free.
+func TestGenMetamorphicSRT(t *testing.T) {
+	for _, name := range genCorpus(64) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := runMode(t, ModeSRT, []string{name})
+			checkCopyAgainstReference(t, "srt/lead/"+name, name, m.Leads[0])
+			checkCopyAgainstReference(t, "srt/trail/"+name, name, m.Trails[0])
+			checkPairsClean(t, "srt/"+name, m)
+		})
+	}
+}
+
+// TestGenMetamorphicBase: the corpus under the unprotected base machine.
+func TestGenMetamorphicBase(t *testing.T) {
+	for _, name := range genCorpus(32) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := runMode(t, ModeBase, []string{name})
+			checkCopyAgainstReference(t, "base/"+name, name, m.Leads[0])
+		})
+	}
+}
+
+// TestGenMetamorphicCRTMixes: randomized 2-pair cross-coupled CRT mixes —
+// each core runs one program's leading thread and the other's trailing
+// thread, the shape the paper's multi-program CRT figures measure.
+func TestGenMetamorphicCRTMixes(t *testing.T) {
+	for _, progs := range progen.MixPairs(genCorpusSeed, 4) {
+		progs := progs
+		t.Run(fmt.Sprintf("%s+%s", progs[0], progs[1]), func(t *testing.T) {
+			t.Parallel()
+			m := runMode(t, ModeCRT, progs[:])
+			for i, name := range progs {
+				checkCopyAgainstReference(t, "crt/lead/"+name, name, m.Leads[i])
+				checkCopyAgainstReference(t, "crt/trail/"+name, name, m.Trails[i])
+			}
+			checkPairsClean(t, "crt", m)
+		})
+	}
+}
+
+// TestGenFourContextSMT: randomized 4-program mixes filling all four SMT
+// contexts of the base machine; every context must still compute its
+// program's exact functional state.
+func TestGenFourContextSMT(t *testing.T) {
+	for _, progs := range progen.MixQuads(genCorpusSeed, 2) {
+		progs := progs
+		t.Run(progs[0]+"...", func(t *testing.T) {
+			t.Parallel()
+			m := runMode(t, ModeBase, progs[:])
+			for i, name := range progs {
+				checkCopyAgainstReference(t, "smt4/"+name, name, m.Leads[i])
+			}
+		})
+	}
+}
+
+// TestGenSnapshotByteIdentity: for generated kernels, a machine restored
+// from a mid-run snapshot and run to completion must produce identical
+// stats and a byte-identical final snapshot to the uninterrupted run —
+// the snapshot substrate cannot depend on the workload being one of the
+// curated kernels.
+func TestGenSnapshotByteIdentity(t *testing.T) {
+	corpus := genCorpus(64)
+	cases := []struct {
+		name  string
+		mode  Mode
+		progs []string
+	}{
+		{"srt", ModeSRT, []string{corpus[0]}},
+		{"srt two programs", ModeSRT, []string{corpus[1], corpus[2]}},
+		{"crt pair", ModeCRT, []string{corpus[3], corpus[4]}},
+		{"base", ModeBase, []string{corpus[5]}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			spec := snapSpec(tc.mode, tc.progs...)
+			ref, err := Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refStats, err := ref.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refSnap, err := ref.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mid, _ := runToCycle(t, spec, 800)
+			restored, err := Restore(spec, mid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotStats, err := restored.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(refStats, gotStats) {
+				t.Errorf("restored run stats differ:\nref: %+v\ngot: %+v", refStats, gotStats)
+			}
+			gotSnap, err := restored.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(refSnap, gotSnap) {
+				t.Errorf("final snapshots differ: ref %d bytes, got %d", len(refSnap), len(gotSnap))
+			}
+		})
+	}
+}
+
+// TestGenEarlyHaltCompletesRun is the regression for the sim-layer
+// completion bug the generator shook out: finishedAll ignored
+// Arch.Halted, so a kernel that halts before committing its budget made
+// Run report a spurious cycle-cap failure even though the pipeline had
+// drained cleanly. Every generated kernel halts, so any budget beyond a
+// kernel's dynamic length reproduces it. The minimized form is checked
+// into internal/program/testdata/earlyhalt.rmtbin.
+func TestGenEarlyHaltCompletesRun(t *testing.T) {
+	name := genCorpus(1)[0]
+	seed, _ := progen.ParseName(name)
+	prof, err := progen.Characterize(progen.Generate(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeBase, ModeSRT} {
+		m, err := Build(Spec{
+			Mode:     mode,
+			Programs: []string{name},
+			Budget:   prof.DynInstrs + 5000, // more budget than the kernel has instructions
+			Warmup:   500,
+			Config:   pipeline.DefaultConfig(),
+			PSR:      mode == ModeSRT,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := m.Run()
+		if err != nil {
+			t.Fatalf("%v: halting kernel reported as incomplete: %v", mode, err)
+		}
+		if got := m.Leads[0].Arch.Seq; got != prof.DynInstrs {
+			t.Errorf("%v: halted at seq %d, functional replay says %d", mode, got, prof.DynInstrs)
+		}
+		if rs.Cycles == 0 {
+			t.Errorf("%v: zero-cycle run", mode)
+		}
+	}
+}

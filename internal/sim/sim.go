@@ -9,7 +9,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
-	"repro/internal/program"
+	"repro/internal/progen"
 	"repro/internal/rmt"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -222,7 +222,7 @@ func Build(spec Spec) (*Machine, error) {
 
 // newSingle builds a non-redundant context for program name.
 func newSingle(name string, progID int, spec Spec) (*pipeline.Context, error) {
-	prog, err := program.Build(name)
+	prog, err := progen.Build(name)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +237,7 @@ func newSingle(name string, progID int, spec Spec) (*pipeline.Context, error) {
 // newPair builds leading and trailing contexts sharing one committed memory
 // image, plus the RMT pair structures between them.
 func newPair(name string, logical int, spec Spec, lat rmt.Latencies, cfg pipeline.Config) (lead, trail *pipeline.Context, pair *rmt.Pair, err error) {
-	prog, err := program.Build(name)
+	prog, err := progen.Build(name)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -323,9 +323,13 @@ func (m *Machine) Run() (*stats.RunStats, error) {
 	return rs, nil
 }
 
+// finishedAll mirrors pipeline.Machine's completion rule: a context is
+// done when its budget committed, or when its program halted first — a
+// halting kernel that runs out of work before the budget is a completed
+// run, not a cycle-cap failure.
 func (m *Machine) finishedAll() bool {
 	for _, c := range m.Leads {
-		if c.Budget > 0 && c.FinishCycle == 0 {
+		if c.Budget > 0 && c.FinishCycle == 0 && !c.Arch.Halted {
 			return false
 		}
 	}

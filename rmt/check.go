@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/isa"
-	"repro/internal/program"
+	"repro/internal/progen"
 )
 
 // ProgramIssue is one finding from the static ISA program verifier.
@@ -22,11 +22,11 @@ func CheckProgram(p *isa.Program) error {
 	return issuesToError(p.Name, analysis.VerifyProgram(p))
 }
 
-// CheckKernel verifies one registered workload kernel by name, returning
-// the structured issue list (empty for a clean kernel). Unknown names are
-// an error.
+// CheckKernel verifies one workload kernel by name — registered or
+// generated ("gen:<seed>") — returning the structured issue list (empty
+// for a clean kernel). Unknown names are an error.
 func CheckKernel(name string) ([]ProgramIssue, error) {
-	p, err := program.Build(name)
+	p, err := progen.Build(name)
 	if err != nil {
 		return nil, err
 	}
@@ -50,10 +50,10 @@ func AnalyzeProgram(p *isa.Program) (*VulnerabilityProfile, error) {
 	return analysis.AnalyzeProgram(p)
 }
 
-// AnalyzeKernel analyzes one registered workload kernel by name. Unknown
-// names are an error.
+// AnalyzeKernel analyzes one workload kernel by name — registered or
+// generated. Unknown names are an error.
 func AnalyzeKernel(name string) (*VulnerabilityProfile, error) {
-	p, err := program.Build(name)
+	p, err := progen.Build(name)
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/pipeline"
+	"repro/internal/progen"
 	"repro/internal/program"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -354,8 +355,16 @@ func BaseIPC(ctx context.Context, programs []string, opts ...Option) (map[string
 }
 
 // Kernels lists the workload suite: the paper's 18 SPEC CPU95-analog
-// kernels, sorted.
+// kernels, sorted. Generated kernels ("gen:<seed>", see KnownKernel) are
+// unbounded in number and not enumerated here.
 func Kernels() []string { return program.Names() }
+
+// KnownKernel reports whether name resolves to a runnable workload:
+// either one of the registry kernels listed by Kernels(), or a generated
+// kernel addressed by its canonical "gen:<seed>" name. Every Spec.Programs
+// entry accepted here runs identically in single runs, multi-program
+// mixes, fault campaigns, and rmtd requests.
+func KnownKernel(name string) bool { return progen.Known(name) }
 
 // Parallelism resolves an option-style parallelism value: n if positive,
 // otherwise runtime.GOMAXPROCS(0).
