@@ -27,11 +27,14 @@ smoke:
 	go run ./cmd/rmtbench -quick -parallel 4 >/dev/null
 
 # The acceptance invariant: -parallel 1 and -parallel 4 stdout must be
-# byte-identical.
+# byte-identical. Outputs go to mktemp paths so concurrent CI runs cannot
+# clobber each other.
 determinism:
-	go run ./cmd/rmtbench -quick -parallel 1 2>/dev/null > /tmp/rmtbench.p1.out
-	go run ./cmd/rmtbench -quick -parallel 4 2>/dev/null > /tmp/rmtbench.p4.out
-	cmp /tmp/rmtbench.p1.out /tmp/rmtbench.p4.out && echo "byte-identical"
+	@set -e; \
+	p1=$$(mktemp); p4=$$(mktemp); trap 'rm -f $$p1 $$p4' EXIT; \
+	go run ./cmd/rmtbench -quick -parallel 1 2>/dev/null > $$p1; \
+	go run ./cmd/rmtbench -quick -parallel 4 2>/dev/null > $$p4; \
+	cmp $$p1 $$p4 && echo "byte-identical"
 
 # Coverage gate: total statement coverage must not fall below the floor.
 # Re-pinned when the generated-workload battery landed: the toolchain now
@@ -40,8 +43,9 @@ determinism:
 # floor leaves a small margin for flaky per-run variation.
 COVER_FLOOR := 71.0
 cover:
-	go test -count=1 -coverprofile=/tmp/rmt.cover.out ./...
-	@total=$$(go tool cover -func=/tmp/rmt.cover.out | tail -1 | awk '{gsub(/%/,"",$$NF); print $$NF}'); \
+	@set -e; out=$$(mktemp); trap 'rm -f $$out' EXIT; \
+	go test -count=1 -coverprofile=$$out ./...; \
+	total=$$(go tool cover -func=$$out | tail -1 | awk '{gsub(/%/,"",$$NF); print $$NF}'); \
 	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) }' || \
 	{ echo "FAIL: coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
@@ -54,6 +58,7 @@ fuzz:
 	go test ./internal/server/ -run '^$$' -fuzz FuzzCanonicalKey -fuzztime $(FUZZTIME)
 	go test ./internal/sim/ -run '^$$' -fuzz FuzzSnapshot -fuzztime $(FUZZTIME)
 	go test ./internal/progen/ -run '^$$' -fuzz FuzzGenerate -fuzztime $(FUZZTIME)
+	go test ./internal/vmdiff/ -race -run '^$$' -fuzz FuzzBatchStep -fuzztime $(FUZZTIME)
 
 # Generator smoke tier for CI: the fixed-seed corpus properties (verifier
 # cleanliness, halt-within-bound, determinism) as plain tests, plus a short
@@ -67,7 +72,7 @@ fuzz-progen:
 # (base/SRT/CRT/4-context SMT), snapshot byte-identity and campaign
 # determinism over the fixed 64-kernel corpus, under the race detector.
 gen-battery:
-	go test ./internal/sim/ ./internal/fault/ ./internal/server/ -run 'TestGen' -count=1 -race
+	go test ./internal/sim/ ./internal/fault/ ./internal/server/ -run 'TestGen' -count=1 -race -timeout 20m
 
 # End-to-end daemon smoke: start rmtd, wait for /healthz, POST the same
 # /run twice and assert the second is served from the cache (X-Cache: hit),
@@ -75,22 +80,23 @@ gen-battery:
 # (listener, admission, single-flight, cache, shutdown) outside httptest.
 SMOKE_ADDR := 127.0.0.1:8471
 serve-smoke:
-	go build -o /tmp/rmtd ./cmd/rmtd
 	@set -e; \
-	/tmp/rmtd -addr $(SMOKE_ADDR) & pid=$$!; \
-	trap 'kill $$pid 2>/dev/null' EXIT; \
+	dir=$$(mktemp -d); \
+	go build -o $$dir/rmtd ./cmd/rmtd; \
+	$$dir/rmtd -addr $(SMOKE_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -rf $$dir' EXIT; \
 	for i in $$(seq 1 50); do \
 		curl -fsS http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && break; \
 		sleep 0.1; \
 	done; \
 	curl -fsS http://$(SMOKE_ADDR)/healthz; \
 	body='{"mode":"srt","programs":["compress"],"budget":2000,"warmup":800}'; \
-	first=$$(curl -fsS -o /tmp/rmtd.run1.json -D - -d "$$body" http://$(SMOKE_ADDR)/run | tr -d '\r' | awk 'tolower($$1)=="x-cache:"{print $$2}'); \
-	second=$$(curl -fsS -o /tmp/rmtd.run2.json -D - -d "$$body" http://$(SMOKE_ADDR)/run | tr -d '\r' | awk 'tolower($$1)=="x-cache:"{print $$2}'); \
+	first=$$(curl -fsS -o $$dir/run1.json -D - -d "$$body" http://$(SMOKE_ADDR)/run | tr -d '\r' | awk 'tolower($$1)=="x-cache:"{print $$2}'); \
+	second=$$(curl -fsS -o $$dir/run2.json -D - -d "$$body" http://$(SMOKE_ADDR)/run | tr -d '\r' | awk 'tolower($$1)=="x-cache:"{print $$2}'); \
 	echo "first=$$first second=$$second"; \
 	test "$$first" = miss; \
 	test "$$second" = hit; \
-	cmp /tmp/rmtd.run1.json /tmp/rmtd.run2.json; \
+	cmp $$dir/run1.json $$dir/run2.json; \
 	kill -TERM $$pid; \
 	wait $$pid; \
 	trap - EXIT; \
@@ -100,8 +106,9 @@ serve-smoke:
 # and fold the results into BENCH_4.json as the "current" role, next to the
 # recorded pre-optimisation baseline (see EXPERIMENTS.md).
 bench-json: bench-campaign
-	go test -run '^$$' -bench . -benchtime 1x -benchmem . | tee /tmp/rmt.bench.out
-	go run ./cmd/benchjson -o BENCH_4.json -role current /tmp/rmt.bench.out
+	@set -e; out=$$(mktemp); trap 'rm -f $$out' EXIT; \
+	go test -run '^$$' -bench . -benchtime 1x -benchmem . | tee $$out; \
+	go run ./cmd/benchjson -o BENCH_4.json -role current $$out
 
 # Campaign-engine speedup artifact: the same campaign benchmark under the
 # legacy per-trial engine (baseline) and the fork-on-fault engine (current),
@@ -109,10 +116,11 @@ bench-json: bench-campaign
 # engines are byte-equivalent (TestForkMatchesLegacy) — so the ns/op ratio
 # is pure engine speedup.
 bench-campaign:
-	RMT_CAMPAIGN_ENGINE=legacy go test -run '^$$' -bench BenchmarkCampaign_ForkOnFault -benchtime 3x . | tee /tmp/rmt.campaign.legacy.out
-	go run ./cmd/benchjson -o BENCH_5.json -role baseline /tmp/rmt.campaign.legacy.out
-	go test -run '^$$' -bench BenchmarkCampaign_ForkOnFault -benchtime 3x . | tee /tmp/rmt.campaign.fork.out
-	go run ./cmd/benchjson -o BENCH_5.json -role current /tmp/rmt.campaign.fork.out
+	@set -e; legacy=$$(mktemp); fork=$$(mktemp); trap 'rm -f $$legacy $$fork' EXIT; \
+	RMT_CAMPAIGN_ENGINE=legacy go test -run '^$$' -bench BenchmarkCampaign_ForkOnFault -benchtime 3x . | tee $$legacy; \
+	go run ./cmd/benchjson -o BENCH_5.json -role baseline $$legacy; \
+	go test -run '^$$' -bench BenchmarkCampaign_ForkOnFault -benchtime 3x . | tee $$fork; \
+	go run ./cmd/benchjson -o BENCH_5.json -role current $$fork
 
 # Static-pruning speedup artifact: the same fork-on-fault campaign on
 # kernels with statically-masked sites, without pruning (baseline) and with
@@ -120,15 +128,34 @@ bench-campaign:
 # are byte-identical (TestPrunedCampaignByteIdentical), so the ns/op ratio
 # is the replay work the static ACE analysis saves.
 bench-campaign-prune:
-	go test -run '^$$' -bench BenchmarkCampaign_StaticPruning -benchtime 3x . | tee /tmp/rmt.campaign.noprune.out
-	go run ./cmd/benchjson -o BENCH_6.json -role baseline /tmp/rmt.campaign.noprune.out
-	RMT_CAMPAIGN_PRUNE=1 go test -run '^$$' -bench BenchmarkCampaign_StaticPruning -benchtime 3x . | tee /tmp/rmt.campaign.prune.out
-	go run ./cmd/benchjson -o BENCH_6.json -role current /tmp/rmt.campaign.prune.out
+	@set -e; noprune=$$(mktemp); prune=$$(mktemp); trap 'rm -f $$noprune $$prune' EXIT; \
+	go test -run '^$$' -bench BenchmarkCampaign_StaticPruning -benchtime 3x . | tee $$noprune; \
+	go run ./cmd/benchjson -o BENCH_6.json -role baseline $$noprune; \
+	RMT_CAMPAIGN_PRUNE=1 go test -run '^$$' -bench BenchmarkCampaign_StaticPruning -benchtime 3x . | tee $$prune; \
+	go run ./cmd/benchjson -o BENCH_6.json -role current $$prune
+
+# Batched-engine speedup artifact: the functional campaign-replay and
+# corpus-verification benchmarks under scalar switch dispatch
+# (baseline) and the batched SoA engine (current), recorded as
+# BENCH_7.json. Both roles execute identical instruction streams — the
+# engines are bit-equivalent (vm and vmdiff differential batteries), so
+# identical simcycles and the ns/op ratio is pure dispatch speedup. Each
+# role runs -count repetitions and benchjson keeps the fastest, which is
+# the noise-robust estimator on shared machines.
+bench-batch:
+	@set -e; scalar=$$(mktemp); batch=$$(mktemp); trap 'rm -f $$scalar $$batch' EXIT; \
+	RMT_VM_DISPATCH=switch go test -run '^$$' -bench 'BenchmarkFunctionalCampaignReplay|BenchmarkCorpusBatchReplay' -benchtime 10x -count 5 . | tee $$scalar; \
+	go run ./cmd/benchjson -o BENCH_7.json -role baseline $$scalar; \
+	go test -run '^$$' -bench 'BenchmarkFunctionalCampaignReplay|BenchmarkCorpusBatchReplay' -benchtime 10x -count 5 . | tee $$batch; \
+	go run ./cmd/benchjson -o BENCH_7.json -role current $$batch
 
 # CI-sized performance gate: every benchmark must still run (one iteration
-# at -short sizes), and a warm simulator must allocate nothing per cycle.
+# at -short sizes — this drives the batched campaign-replay and
+# characterisation paths), a warm simulator must allocate nothing per
+# cycle, and the batched hot loop must stay zero-alloc across pool reuse.
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x -short .
 	go test ./internal/sim/ -run TestSteadyStateAllocs -count=1
+	go test ./internal/vm/ -run 'TestBatchSteadyStateAllocs|TestBatchResetReuse' -count=1
 
-.PHONY: verify race lint crossval smoke determinism cover fuzz fuzz-progen gen-battery bench-json bench-campaign bench-campaign-prune bench-smoke serve-smoke
+.PHONY: verify race lint crossval smoke determinism cover fuzz fuzz-progen gen-battery bench-json bench-campaign bench-campaign-prune bench-batch bench-smoke serve-smoke

@@ -16,8 +16,10 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/pipeline"
+	"repro/internal/progen"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/vm"
 )
 
 func benchParams(b *testing.B) exp.Params {
@@ -168,6 +170,149 @@ func BenchmarkCampaign_StaticPruning(b *testing.B) {
 	}
 	b.ReportMetric(float64(total), "simcycles")
 	b.ReportMetric(float64(pstats.Pruned), "pruned")
+}
+
+// BenchmarkFunctionalCampaignReplay measures the batched functional
+// execution engine on the campaign-replay shape: 64 trials of one
+// generated kernel, each lane armed with its own planned transient, run as
+// one SoA vm.Batch with predecoded handler tables. RMT_VM_DISPATCH=switch
+// selects the baseline — 64 independent scalar threads on the original
+// decode-per-step switch (the pre-batch engine). Both engines execute the
+// identical instruction streams (internal/vmdiff's lockstep battery), so
+// the ns/op ratio — recorded in BENCH_7.json with the switch run as
+// "baseline" and the batched run as "current" — is pure dispatch+layout
+// speedup. The functional engine's unit of work is executed instructions;
+// they are reported as the simcycles metric (identical across roles, the
+// equivalence check in artifact form) and as KIPS.
+func BenchmarkFunctionalCampaignReplay(b *testing.B) {
+	const lanes = 64
+	k := progen.Generate(progen.CorpusSeeds(0xC0FFEE, 1)[0])
+	spec := sim.Spec{
+		Programs: []string{progen.Name(k.Seed)},
+		Warmup:   k.MaxDynInstr / 4, Budget: k.MaxDynInstr,
+	}
+	hooks := make([]vm.CorruptFunc, lanes)
+	for i, f := range fault.Plan(spec, lanes, 0xBEEF) {
+		f := f
+		hooks[i] = func(point vm.CorruptPoint, seq, pc, v uint64) uint64 {
+			if point == f.Point && seq == f.AtSeq {
+				return v ^ (1 << (f.Bit & 63))
+			}
+			return v
+		}
+	}
+	maxRounds := 4*k.MaxDynInstr + 64
+	scalar := os.Getenv("RMT_VM_DISPATCH") == "switch"
+	var executed uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mem := vm.NewMemory()
+		vm.Load(k.Prog, mem)
+		if scalar {
+			for lane := 0; lane < lanes; lane++ {
+				th := vm.NewThreadWith(lane, k.Prog, mem, vm.Config{Dispatch: vm.DispatchSwitch})
+				th.Tolerant = true
+				th.Corrupt = hooks[lane]
+				th.Run(maxRounds)
+				executed += th.Seq
+			}
+		} else {
+			bt := vm.NewBatch(k.Prog, mem, lanes)
+			bt.Tolerant = true
+			copy(bt.Corrupt, hooks)
+			bt.Run(maxRounds)
+			for lane := 0; lane < lanes; lane++ {
+				executed += bt.Seq[lane]
+			}
+		}
+	}
+	b.ReportMetric(float64(executed)/float64(b.N), "simcycles")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(executed)/secs/1000, "KIPS")
+	}
+}
+
+// BenchmarkCorpusBatchReplay measures the corpus-verification shape
+// behind the metamorphic and differential batteries: fault-free functional
+// replay of 64 lanes each of 8 fixed-corpus kernels, run as one SoA
+// vm.Batch per kernel with no Observer — the column fast path, where live
+// lanes bucket by PC and each distinct PC costs one handler call.
+// RMT_VM_DISPATCH=switch selects the baseline (independent scalar threads
+// on the decode-per-step switch). Reported like
+// BenchmarkFunctionalCampaignReplay; with no corruption hooks in either
+// engine, the ratio isolates dispatch and SoA layout.
+func BenchmarkCorpusBatchReplay(b *testing.B) {
+	const lanes = 64
+	seeds := progen.CorpusSeeds(0xC0FFEE, 8)
+	kernels := make([]*progen.Kernel, len(seeds))
+	for i, s := range seeds {
+		kernels[i] = progen.Generate(s)
+	}
+	scalar := os.Getenv("RMT_VM_DISPATCH") == "switch"
+	var executed uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range kernels {
+			mem := vm.NewMemory()
+			vm.Load(k.Prog, mem)
+			maxRounds := 4*k.MaxDynInstr + 64
+			if scalar {
+				for lane := 0; lane < lanes; lane++ {
+					th := vm.NewThreadWith(lane, k.Prog, mem, vm.Config{Dispatch: vm.DispatchSwitch})
+					th.Tolerant = true
+					th.Run(maxRounds)
+					executed += th.Seq
+				}
+			} else {
+				bt := vm.NewBatch(k.Prog, mem, lanes)
+				bt.Tolerant = true
+				bt.Run(maxRounds)
+				for lane := 0; lane < lanes; lane++ {
+					executed += bt.Seq[lane]
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(executed)/float64(b.N), "simcycles")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(executed)/secs/1000, "KIPS")
+	}
+}
+
+// BenchmarkProgenCharacterize measures corpus characterisation — the full
+// functional replay behind every generated kernel's profile — on the
+// batched engine (progen.Characterize, a single-lane vm.Batch).
+// RMT_VM_DISPATCH=switch selects the scalar decode-switch oracle
+// (progen.CharacterizeOracle, the pre-batch path). Profiles are
+// byte-identical across engines (TestCharacterizeMatchesOracle), so the
+// ns/op ratio is pure dispatch speedup; executed instructions are reported
+// as simcycles and KIPS as in BenchmarkFunctionalCampaignReplay.
+func BenchmarkProgenCharacterize(b *testing.B) {
+	seeds := progen.CorpusSeeds(0xC0FFEE, 16)
+	kernels := make([]*progen.Kernel, len(seeds))
+	for i, s := range seeds {
+		kernels[i] = progen.Generate(s)
+	}
+	characterize := progen.Characterize
+	if os.Getenv("RMT_VM_DISPATCH") == "switch" {
+		characterize = progen.CharacterizeOracle
+	}
+	var perIter uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		perIter = 0
+		for _, k := range kernels {
+			p, err := characterize(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			perIter += p.DynInstrs
+		}
+	}
+	b.ReportMetric(float64(perIter), "simcycles")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(perIter)*float64(b.N)/secs/1000, "KIPS")
+	}
 }
 
 // --- ablation benches (design choices from DESIGN.md §5) ---

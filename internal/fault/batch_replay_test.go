@@ -1,0 +1,57 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/progen"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/vmdiff"
+)
+
+// TestGenBatchedCampaignReplay is the campaign's functional core run
+// batched: N trials of one generated kernel, each lane armed with its own
+// planned transient at the vm corruption layer (lane 0 golden), advanced
+// as one vm.Batch and held bit-equal to N scalar per-trial oracle
+// replays after every step. The timing engines have TestForkMatchesLegacy;
+// this is the same byte-identity obligation for the batched functional
+// engine, under the actual campaign fault plan. gen-battery runs it under
+// the race detector.
+func TestGenBatchedCampaignReplay(t *testing.T) {
+	const lanes = 9 // 1 golden + 8 planned trials
+	for _, seed := range progen.CorpusSeeds(0xC0FFEE, 8) {
+		seed := seed
+		t.Run(progen.Name(seed), func(t *testing.T) {
+			t.Parallel()
+			k := progen.Generate(seed)
+			// The plan only reads Programs/Warmup/Budget; the injection
+			// windows it draws land inside the kernel's dynamic length.
+			faults := Plan(sim.Spec{
+				Programs: []string{progen.Name(seed)},
+				Warmup:   k.MaxDynInstr / 4,
+				Budget:   k.MaxDynInstr,
+			}, lanes-1, seed|1)
+			l := vmdiff.NewLockstep(k.Prog, lanes, vmdiff.Options{
+				Tolerant: true, // a corrupted jump target may leave the image
+				Corrupt: func(lane int) vm.CorruptFunc {
+					if lane == 0 {
+						return nil
+					}
+					f := faults[lane-1]
+					// Stateless single-shot arm: one dynamic instruction
+					// invokes each corruption point at most once, so the
+					// (seq, point) match flips exactly one value.
+					return func(point vm.CorruptPoint, seq, pc, v uint64) uint64 {
+						if point == f.Point && seq == f.AtSeq {
+							return v ^ (1 << (f.Bit & 63))
+						}
+						return v
+					}
+				},
+			})
+			if err := l.Run(4*k.MaxDynInstr + 64); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/analysis"
@@ -256,22 +257,39 @@ type PruneStats struct {
 	Pruned int
 }
 
+// replayChunkSize bounds how many replay trials ride in one worker job.
+// Trials in a chunk share a golden checkpoint, so a worker restores from
+// the same (cache-hot) snapshot bytes back to back and recycles one pooled
+// machine across the whole chunk instead of bouncing it through the pool
+// per trial. The bound keeps chunks small enough to load-balance across
+// workers when fires cluster around one checkpoint.
+const replayChunkSize = 8
+
 // CampaignParallel runs the same campaign as Campaign with the injection
 // trials sharded across a worker pool, using the fork-on-fault engine: the
 // fault-free (golden) run is simulated once, with machine-state checkpoints
 // taken at a fixed cycle interval, and each trial restores the last
 // checkpoint before its injection point and replays only the suffix instead
-// of re-simulating the whole prefix. Replay machines are recycled through a
-// pool (restore overwrites all mutable state), so steady-state trial cost is
-// one snapshot decode plus the suffix cycles. The fault plan is fixed before
-// the first trial starts and results are keyed by trial index, so the
-// summary — including per-trial outcome order — is identical at any
-// parallelism, and byte-identical to CampaignLegacy's.
+// of re-simulating the whole prefix. Trials that need no replay at all —
+// never fired, or statically pruned — are classified inline from golden end
+// state; the rest are grouped into chunks sharing a golden checkpoint (see
+// replayChunkSize) and sharded across the pool. Replay machines are
+// recycled through a pool (restore overwrites all mutable state), so
+// steady-state trial cost is one snapshot decode plus the suffix cycles.
+// The fault plan is fixed before the first trial starts and results are
+// written by trial index, so the summary — including per-trial outcome
+// order — is identical at any parallelism, and byte-identical to
+// CampaignLegacy's.
 func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (*CampaignSummary, error) {
 	if spec.Mode != sim.ModeSRT && spec.Mode != sim.ModeCRT {
 		return nil, fmt.Errorf("fault: campaign requires an RMT mode, got %v", spec.Mode)
 	}
 	spec.StopOnDetection = true
+	if opts.Cancel != nil {
+		if err := opts.Cancel(); err != nil {
+			return nil, err
+		}
+	}
 	faults := Plan(spec, n, seed)
 	prep, err := forkPrepare(spec, faults)
 	if err != nil {
@@ -281,33 +299,67 @@ func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]func() (Result, error), n)
-	for i := range faults {
-		i, f := i, faults[i]
-		jobs[i] = func() (Result, error) {
-			if opts.Cancel != nil {
-				if err := opts.Cancel(); err != nil {
-					return Result{}, err
-				}
-			}
-			if !prep.fired[i] {
-				return prep.classifyUnfired(f), nil
-			}
-			if pruned[i] != nil && !opts.ValidateStaticMasking {
-				return *pruned[i], nil
-			}
-			res, err := prep.replay(spec, f, i)
-			if err != nil {
-				return Result{}, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
-			}
-			if pruned[i] != nil && res != *pruned[i] {
-				return Result{}, fmt.Errorf("fault: trial %d (%v): static masking disagrees with replay: static %+v, dynamic %+v",
-					i, f, *pruned[i], res)
-			}
-			return res, nil
+
+	// Campaign-owned per-trial progress: workers complete whole chunks, but
+	// the caller still sees trial counts.
+	var progMu sync.Mutex
+	doneTrials := 0
+	trialsDone := func(k int) {
+		if opts.Progress == nil || k == 0 {
+			return
+		}
+		progMu.Lock()
+		doneTrials += k
+		opts.Progress(doneTrials, n)
+		progMu.Unlock()
+	}
+
+	// Classify the cheap trials inline — their outcome is a function of
+	// golden end state (or the static proof), no replay involved.
+	results := make([]Result, n)
+	var replays []int
+	cheap := 0
+	for i, f := range faults {
+		switch {
+		case !prep.fired[i]:
+			results[i] = prep.classifyUnfired(f)
+			cheap++
+		case pruned[i] != nil && !opts.ValidateStaticMasking:
+			results[i] = *pruned[i]
+			cheap++
+		default:
+			replays = append(replays, i)
 		}
 	}
-	results, rep, err := runner.Run(jobs, runner.Options{Parallelism: opts.Parallelism, Progress: opts.Progress})
+	trialsDone(cheap)
+
+	chunks := chunkByCheckpoint(replays, prep)
+	jobs := make([]func() (struct{}, error), len(chunks))
+	for ci, chunk := range chunks {
+		chunk := chunk
+		jobs[ci] = func() (struct{}, error) {
+			for _, i := range chunk {
+				if opts.Cancel != nil {
+					if err := opts.Cancel(); err != nil {
+						return struct{}{}, err
+					}
+				}
+				f := faults[i]
+				res, err := prep.replay(spec, f, i)
+				if err != nil {
+					return struct{}{}, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
+				}
+				if pruned[i] != nil && res != *pruned[i] {
+					return struct{}{}, fmt.Errorf("fault: trial %d (%v): static masking disagrees with replay: static %+v, dynamic %+v",
+						i, f, *pruned[i], res)
+				}
+				results[i] = res
+				trialsDone(1)
+			}
+			return struct{}{}, nil
+		}
+	}
+	_, rep, err := runner.Run(jobs, runner.Options{Parallelism: opts.Parallelism})
 	if opts.OnReport != nil {
 		opts.OnReport(rep)
 	}
@@ -315,6 +367,36 @@ func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (
 		return nil, err
 	}
 	return summarize(n, results), nil
+}
+
+// chunkByCheckpoint groups replay trials by the golden checkpoint they
+// restore from and splits each group into chunks of at most
+// replayChunkSize, in ascending (checkpoint, trial index) order. Chunks
+// write disjoint trial indices, so scheduling order cannot affect the
+// summary.
+func chunkByCheckpoint(replays []int, prep *forkPrep) [][]int {
+	byBase := make(map[uint64][]int)
+	var bases []uint64
+	for _, i := range replays {
+		base := prep.fireIter[i] - prep.fireIter[i]%checkpointInterval
+		if byBase[base] == nil {
+			bases = append(bases, base)
+		}
+		byBase[base] = append(byBase[base], i)
+	}
+	sort.Slice(bases, func(a, b int) bool { return bases[a] < bases[b] })
+	var chunks [][]int
+	for _, base := range bases {
+		g := byBase[base]
+		for len(g) > replayChunkSize {
+			chunks = append(chunks, g[:replayChunkSize])
+			g = g[replayChunkSize:]
+		}
+		if len(g) > 0 {
+			chunks = append(chunks, g)
+		}
+	}
+	return chunks
 }
 
 // CampaignLegacy runs the campaign with the original per-trial engine:

@@ -25,6 +25,12 @@ type Context struct {
 
 	// Arch is the functional oracle.
 	Arch *vm.Thread
+
+	// stepOut is the fetch stage's reusable outcome buffer: StepInto's
+	// target must not be a stack variable whose address flows into the
+	// predecoded handler closures, or escape analysis heap-allocates it
+	// every step.
+	stepOut vm.Outcome //rmtsnap:skip — scratch buffer, dead between steps
 	// PeerArch is the other copy's functional state (redundant pairs
 	// only): the trailing copy releases both overlays when its stores
 	// drain, keeping the shared committed memory consistent with the

@@ -80,9 +80,9 @@ func (co *Core) chooseFetchThread() *Context {
 	return best
 }
 
-func (co *Core) newDynInst(ctx *Context, out vm.Outcome) *dynInst {
+func (co *Core) newDynInst(ctx *Context, out *vm.Outcome) *dynInst {
 	d := ctx.allocInst()
-	d.out = out
+	d.out = *out
 	d.tid = ctx.TID
 	d.kind = ctx.kindAt(out.PC, out.Instr.Op)
 	d.fetchCycle = co.cycle
@@ -187,7 +187,8 @@ func (co *Core) buildChunk(ctx *Context, chunkStart uint64, bubble uint64) {
 		if slot > 0 && pc/blockWords != chunkStart/blockWords {
 			return // cannot fetch across a cache line in one chunk
 		}
-		out := ctx.Arch.Step()
+		out := &ctx.stepOut
+		ctx.Arch.StepInto(out)
 		d := co.newDynInst(ctx, out)
 		d.rmbReadyAt += bubble
 		d.fetchSlot = slot
@@ -307,7 +308,8 @@ func (co *Core) fetchTrailing(ctx *Context) {
 			}
 		}
 		for slot := 0; slot < c.Count; slot++ {
-			out := ctx.Arch.Step()
+			out := &ctx.stepOut
+			ctx.Arch.StepInto(out)
 			d := co.newDynInst(ctx, out)
 			d.rmbReadyAt += bubble
 			d.fetchSlot = slot

@@ -135,6 +135,7 @@ func writeOutcome(w *snap.Writer, o *vm.Outcome) {
 	w.U64(o.Value)
 	w.U64(o.DestVal)
 	w.Bool(o.Halted)
+	w.Bool(o.Trap)
 }
 
 func readOutcome(r *snap.Reader, o *vm.Outcome) {
@@ -152,6 +153,7 @@ func readOutcome(r *snap.Reader, o *vm.Outcome) {
 	o.Value = r.U64()
 	o.DestVal = r.U64()
 	o.Halted = r.Bool()
+	o.Trap = r.Bool()
 }
 
 func (sc *snapCtx) writeInst(w *snap.Writer, d *dynInst) {

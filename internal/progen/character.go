@@ -47,92 +47,143 @@ type Profile struct {
 // generator bug, not a long workload.
 const characterizeCap = 4 << 20
 
-// Characterize replays the kernel functionally to its HALT and measures
-// the profile. An error means the kernel overran its declared bound —
-// the generator's halt guarantee failed.
-func Characterize(k *Kernel) (*Profile, error) {
-	memImg := vm.NewMemory()
-	vm.Load(k.Prog, memImg)
-	th := vm.NewThread(0, k.Prog, memImg)
-
-	var loads, stores, branches, fp stats.Counter
-	var taken stats.Mean
-	lines := make(map[uint64]bool)
-	var memRefs uint64
+// profiler accumulates one kernel's profile from its committed outcome
+// stream. Both replay engines feed it identically — the measurement is a
+// pure function of the outcome sequence, which the vm battery holds
+// bit-equal across engines.
+type profiler struct {
+	loads, stores, branches, fp stats.Counter
+	taken                       stats.Mean
+	lines                       map[uint64]bool
+	memRefs                     uint64
 
 	// Dependence-depth scoreboard: depth[r] is the length of the chain
 	// producing r's current value; the critical path is the max over all
 	// writes. Memory carries chains through store->load at 8-byte grain.
-	var intDepth, fpDepth [32]uint64
-	memDepth := make(map[uint64]uint64)
-	var critical uint64
+	intDepth, fpDepth [32]uint64
+	memDepth          map[uint64]uint64
+	critical          uint64
+}
 
-	for !th.Halted {
-		if th.Seq >= characterizeCap {
-			return nil, fmt.Errorf("progen: %s did not halt within %d instructions (declared bound %d)",
-				k.Prog.Name, uint64(characterizeCap), k.MaxDynInstr)
-		}
-		out := th.Step()
-		ins := out.Instr
-		switch {
-		case ins.IsLoad():
-			loads.Inc()
-		case ins.IsStore():
-			stores.Inc()
-		case ins.IsBranch():
-			branches.Inc()
-		}
-		if ins.IsCondBranch() {
-			if out.Taken {
-				taken.Add(1)
-			} else {
-				taken.Add(0)
-			}
-		}
-		if isFPOp(ins.Op) {
-			fp.Inc()
-		}
-		if ins.IsMem() && !ins.IsUncached() {
-			memRefs++
-			for a := out.Addr &^ 63; a < out.Addr+uint64(ins.MemBytes()); a += 64 {
-				lines[a] = true
-			}
-		}
-		depthStep(ins, out, &intDepth, &fpDepth, memDepth, &critical)
+func newProfiler() *profiler {
+	return &profiler{
+		lines:    make(map[uint64]bool),
+		memDepth: make(map[uint64]uint64),
 	}
-	if th.Seq > k.MaxDynInstr {
-		return nil, fmt.Errorf("progen: %s halted at %d dynamic instructions, beyond its declared bound %d",
-			k.Prog.Name, th.Seq, k.MaxDynInstr)
-	}
+}
 
-	dyn := th.Seq
+// step accumulates one committed instruction. The outcome buffer may be
+// reused by the caller; step copies what it keeps.
+func (p *profiler) step(out *vm.Outcome) {
+	ins := out.Instr
+	switch {
+	case ins.IsLoad():
+		p.loads.Inc()
+	case ins.IsStore():
+		p.stores.Inc()
+	case ins.IsBranch():
+		p.branches.Inc()
+	}
+	if ins.IsCondBranch() {
+		if out.Taken {
+			p.taken.Add(1)
+		} else {
+			p.taken.Add(0)
+		}
+	}
+	if isFPOp(ins.Op) {
+		p.fp.Inc()
+	}
+	if ins.IsMem() && !ins.IsUncached() {
+		p.memRefs++
+		for a := out.Addr &^ 63; a < out.Addr+uint64(ins.MemBytes()); a += 64 {
+			p.lines[a] = true
+		}
+	}
+	p.depthStep(ins, out)
+}
+
+// finish folds the accumulated counters into the kernel's profile.
+func (p *profiler) finish(k *Kernel, dyn uint64) *Profile {
 	frac := func(c stats.Counter) float64 {
 		if dyn == 0 {
 			return 0
 		}
 		return float64(c.Value()) / float64(dyn)
 	}
-	p := &Profile{
+	prof := &Profile{
 		Name:           k.Prog.Name,
 		Seed:           k.Seed,
 		StaticInstrs:   len(k.Prog.Code),
 		DataBytes:      k.Prog.DataFootprint(),
 		DynInstrs:      dyn,
 		DeclaredMaxDyn: k.MaxDynInstr,
-		LoadFrac:       frac(loads),
-		StoreFrac:      frac(stores),
-		BranchFrac:     frac(branches),
-		FPFrac:         frac(fp),
-		TakenRate:      taken.Value(),
-		FootprintLines: len(lines),
+		LoadFrac:       frac(p.loads),
+		StoreFrac:      frac(p.stores),
+		BranchFrac:     frac(p.branches),
+		FPFrac:         frac(p.fp),
+		TakenRate:      p.taken.Value(),
+		FootprintLines: len(p.lines),
 	}
-	if memRefs > 0 {
-		p.MissProxy = float64(len(lines)) / float64(memRefs)
+	if p.memRefs > 0 {
+		prof.MissProxy = float64(len(p.lines)) / float64(p.memRefs)
 	}
-	if critical > 0 {
-		p.ILP = float64(dyn) / float64(critical)
+	if p.critical > 0 {
+		prof.ILP = float64(dyn) / float64(p.critical)
 	}
-	return p, nil
+	return prof
+}
+
+// Characterize replays the kernel functionally to its HALT on the batched
+// engine (a single-lane vm.Batch — predecode amortised, outcomes observed
+// in place) and measures the profile. An error means the kernel overran
+// its declared bound — the generator's halt guarantee failed.
+// CharacterizeOracle is the same measurement on the scalar decode-switch
+// engine; the two are byte-identical by construction and by test.
+func Characterize(k *Kernel) (*Profile, error) {
+	memImg := vm.NewMemory()
+	vm.Load(k.Prog, memImg)
+	b := vm.NewBatch(k.Prog, memImg, 1)
+	p := newProfiler()
+	b.Observer = func(_ int, out *vm.Outcome) { p.step(out) }
+
+	for !b.Halted[0] {
+		if b.Seq[0] >= characterizeCap {
+			return nil, fmt.Errorf("progen: %s did not halt within %d instructions (declared bound %d)",
+				k.Prog.Name, uint64(characterizeCap), k.MaxDynInstr)
+		}
+		b.Step()
+	}
+	if b.Seq[0] > k.MaxDynInstr {
+		return nil, fmt.Errorf("progen: %s halted at %d dynamic instructions, beyond its declared bound %d",
+			k.Prog.Name, b.Seq[0], k.MaxDynInstr)
+	}
+	return p.finish(k, b.Seq[0]), nil
+}
+
+// CharacterizeOracle replays the kernel on the scalar switch-dispatch
+// thread — the differential oracle the batched Characterize is tested
+// against.
+func CharacterizeOracle(k *Kernel) (*Profile, error) {
+	memImg := vm.NewMemory()
+	vm.Load(k.Prog, memImg)
+	th := vm.NewThreadWith(0, k.Prog, memImg, vm.Config{Dispatch: vm.DispatchSwitch})
+	p := newProfiler()
+
+	var out vm.Outcome
+	for !th.Halted {
+		if th.Seq >= characterizeCap {
+			return nil, fmt.Errorf("progen: %s did not halt within %d instructions (declared bound %d)",
+				k.Prog.Name, uint64(characterizeCap), k.MaxDynInstr)
+		}
+		th.StepInto(&out)
+		p.step(&out)
+	}
+	if th.Seq > k.MaxDynInstr {
+		return nil, fmt.Errorf("progen: %s halted at %d dynamic instructions, beyond its declared bound %d",
+			k.Prog.Name, th.Seq, k.MaxDynInstr)
+	}
+	return p.finish(k, th.Seq), nil
 }
 
 // isFPOp reports whether the op executes in the FP classes.
@@ -147,18 +198,18 @@ func isFPOp(op isa.Op) bool {
 // depthStep advances the dependence scoreboard by one committed
 // instruction: the new chain depth is 1 past the deepest input (source
 // registers, and the stored cell for loads).
-func depthStep(ins isa.Instr, out vm.Outcome, intDepth, fpDepth *[32]uint64, memDepth map[uint64]uint64, critical *uint64) {
+func (p *profiler) depthStep(ins isa.Instr, out *vm.Outcome) {
 	readInt := func(r isa.Reg) uint64 {
 		if r == isa.ZeroReg {
 			return 0
 		}
-		return intDepth[r]
+		return p.intDepth[r]
 	}
 	readFP := func(r isa.Reg) uint64 {
 		if r == isa.ZeroReg {
 			return 0
 		}
-		return fpDepth[r]
+		return p.fpDepth[r]
 	}
 	var d uint64
 	maxIn := func(v uint64) {
@@ -183,7 +234,7 @@ func depthStep(ins isa.Instr, out vm.Outcome, intDepth, fpDepth *[32]uint64, mem
 	case ins.IsLoad():
 		maxIn(readInt(ins.Ra))
 		if !ins.IsUncached() {
-			maxIn(memDepth[out.Addr&^7])
+			maxIn(p.memDepth[out.Addr&^7])
 		}
 	case ins.Op == isa.CVTQF || ins.Op == isa.ITOF:
 		maxIn(readInt(ins.Ra))
@@ -201,18 +252,18 @@ func depthStep(ins isa.Instr, out vm.Outcome, intDepth, fpDepth *[32]uint64, mem
 	d++
 	if ins.IsStore() && !ins.IsUncached() {
 		for a := out.Addr &^ 7; a < out.Addr+uint64(ins.MemBytes()); a += 8 {
-			memDepth[a] = d
+			p.memDepth[a] = d
 		}
 	}
 	if ins.HasDest() && ins.Rd != isa.ZeroReg {
 		if ins.DestIsFP() {
-			fpDepth[ins.Rd] = d
+			p.fpDepth[ins.Rd] = d
 		} else {
-			intDepth[ins.Rd] = d
+			p.intDepth[ins.Rd] = d
 		}
 	}
-	if d > *critical {
-		*critical = d
+	if d > p.critical {
+		p.critical = d
 	}
 }
 

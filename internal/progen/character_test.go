@@ -1,0 +1,35 @@
+package progen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCharacterizeMatchesOracle: the batched characterisation must produce
+// byte-identical profiles to the scalar switch-dispatch oracle over the
+// fixed 64-kernel corpus (the measurement is a pure function of the
+// outcome stream, which the vm battery holds bit-equal across engines).
+func TestCharacterizeMatchesOracle(t *testing.T) {
+	for _, seed := range CorpusSeeds(corpusSeed, 64) {
+		k := Generate(seed)
+		batched, err := Characterize(k)
+		if err != nil {
+			t.Fatalf("%s: batched: %v", k.Prog.Name, err)
+		}
+		scalar, err := CharacterizeOracle(k)
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", k.Prog.Name, err)
+		}
+		bj, err := json.Marshal(batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj, err := json.Marshal(scalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(bj) != string(sj) {
+			t.Fatalf("%s: profiles diverged\nbatched: %s\noracle:  %s", k.Prog.Name, bj, sj)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/pipeline"
 	"repro/internal/progen"
+	"repro/internal/vmdiff"
 )
 
 // The generated-corpus differential battery: the fixed-seed 64-kernel
@@ -87,6 +88,24 @@ func TestGenFourContextSMT(t *testing.T) {
 			m := runMode(t, ModeBase, progs[:])
 			for i, name := range progs {
 				checkCopyAgainstReference(t, "smt4/"+name, name, m.Leads[i])
+			}
+		})
+	}
+}
+
+// TestGenBatchLockstep: the batched SoA functional engine over the full
+// 64-kernel corpus — each kernel as an 8-lane vm.Batch (lane 0 fault-free,
+// the rest under per-lane injection) — must stay bit-equal to independent
+// scalar oracle threads after every step. The harness lives in
+// internal/vmdiff; gen-battery runs this under the race detector.
+func TestGenBatchLockstep(t *testing.T) {
+	for _, seed := range progen.CorpusSeeds(genCorpusSeed, 64) {
+		seed := seed
+		t.Run(progen.Name(seed), func(t *testing.T) {
+			t.Parallel()
+			k := progen.Generate(seed)
+			if err := vmdiff.VerifyKernel(k, 8, seed, 4*k.MaxDynInstr+64); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}

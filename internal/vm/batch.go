@@ -1,0 +1,511 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Batch advances N independent threads of the same program in lockstep
+// rounds with structure-of-arrays state: one slice per register column
+// (IntReg[r][lane]), per-lane PC/Seq/halt flags, and one private store
+// overlay per lane over a single shared committed memory. The layout keeps
+// each register column cache-resident while a round sweeps the lanes, and
+// the per-PC handler table is shared by every lane, so campaign replays
+// (N trials of one kernel, one injection each), corpus verification, and
+// characterisation sweeps amortize predecode across the whole batch.
+//
+// Lane semantics are exactly Thread semantics — same handler specialiser
+// over the same semOf decode, same corruption-point order, same trap and
+// halt behaviour — and the vmdiff battery holds a Batch bit-equal to N
+// scalar oracle threads after every step.
+type Batch struct {
+	// Prog is the program every lane executes.
+	Prog *isa.Program
+	// N is the lane count.
+	N int
+
+	PC  []uint64
+	Seq []uint64
+	// IntReg and FPReg are column-major: IntReg[r][lane]. The ZeroReg
+	// column is never written, so lane reads skip the zero-register check.
+	IntReg [isa.NumIntRegs][]uint64
+	FPReg  [isa.NumFPRegs][]uint64
+
+	Halted  []bool
+	Trapped []bool
+
+	// Mem holds each lane's private view: the shared committed memory
+	// plus the lane's own store overlay.
+	Mem []*Overlay
+
+	// Corrupt holds each lane's fault-injection hook (nil = fault-free).
+	Corrupt []CorruptFunc
+
+	// Tolerant applies Thread.Tolerant to every lane: an out-of-image PC
+	// halts the lane with Trap instead of panicking.
+	Tolerant bool
+
+	// IORead services uncached loads for every lane (the lanes execute
+	// the same program against the same device model). nil reads as zero.
+	IORead func(addr uint64) uint64
+
+	// Observer, when non-nil, receives every executed instruction's
+	// outcome (including tolerant traps). The outcome buffer is reused
+	// across calls; implementations must copy what they keep.
+	Observer func(lane int, out *Outcome)
+
+	ops  []laneFn
+	cols []colFn // unobserved fast path: one handler call per PC-group
+	// colHalts[pc] marks instructions that can halt a lane (HALT); rounds
+	// executing only non-halting in-image instructions skip live-list
+	// compaction.
+	colHalts []bool
+
+	regBack []uint64 // one backing array for all register columns
+	out     Outcome  // scratch outcome, reused every step
+
+	// liveList holds the lanes not yet halted, ascending. Step maintains
+	// it (Halted is engine-written state; campaigns park lanes by letting
+	// them run to HALT or trap).
+	liveList []int32
+
+	// PC-grouping scratch for diverged unobserved rounds: live lanes are
+	// bucketed by PC (headByPC chains through nextLane), and each bucket
+	// executes through one column-handler call. All preallocated; the hot
+	// loop does not grow them.
+	headByPC []int32
+	nextLane []int32
+	touched  []uint64
+	groupBuf []int32
+
+	// valBuf carries computed values from a specialised integer-ALU compute
+	// loop to the shared writeback tail (see intALUCol), indexed by position
+	// in the lane group.
+	valBuf []uint64
+}
+
+// NewBatch creates an n-lane batch at the program entry. Every lane
+// overlays the same base memory, which must already hold the program's
+// data image (see Load).
+func NewBatch(prog *isa.Program, mem *Memory, n int) *Batch {
+	b := &Batch{
+		Prog:    prog,
+		N:       n,
+		PC:      make([]uint64, n),
+		Seq:     make([]uint64, n),
+		Halted:  make([]bool, n),
+		Trapped: make([]bool, n),
+		Mem:     make([]*Overlay, n),
+		Corrupt: make([]CorruptFunc, n),
+		ops:     buildLaneOps(prog),
+		regBack: make([]uint64, (isa.NumIntRegs+isa.NumFPRegs)*n),
+	}
+	for r := 0; r < isa.NumIntRegs; r++ {
+		b.IntReg[r] = b.regBack[r*n : (r+1)*n : (r+1)*n]
+	}
+	off := isa.NumIntRegs * n
+	for r := 0; r < isa.NumFPRegs; r++ {
+		b.FPReg[r] = b.regBack[off+r*n : off+(r+1)*n : off+(r+1)*n]
+	}
+	for lane := 0; lane < n; lane++ {
+		b.PC[lane] = prog.Entry
+		b.Mem[lane] = NewOverlay(mem)
+	}
+	b.colHalts = make([]bool, len(prog.Code))
+	for pc, ins := range prog.Code {
+		b.colHalts[pc] = ins.Op == isa.HALT
+	}
+	b.liveList = make([]int32, n)
+	for i := range b.liveList {
+		b.liveList[i] = int32(i)
+	}
+	b.headByPC = make([]int32, len(prog.Code))
+	for i := range b.headByPC {
+		b.headByPC[i] = -1
+	}
+	b.nextLane = make([]int32, n)
+	b.touched = make([]uint64, 0, n)
+	b.groupBuf = make([]int32, 0, n)
+	b.valBuf = make([]uint64, n)
+	b.cols = b.buildColOps()
+	return b
+}
+
+// Reset rewinds every lane to the program entry over mem, clearing
+// registers, overlays, flags, and hooks, so a pooled batch can be reused
+// across campaigns without reallocating its columns (overlay maps keep
+// their buckets).
+func (b *Batch) Reset(mem *Memory) {
+	for i := range b.regBack {
+		b.regBack[i] = 0
+	}
+	for lane := 0; lane < b.N; lane++ {
+		b.PC[lane] = b.Prog.Entry
+		b.Seq[lane] = 0
+		b.Halted[lane] = false
+		b.Trapped[lane] = false
+		b.Corrupt[lane] = nil
+		b.Mem[lane].Reset(mem)
+	}
+	b.Observer = nil
+	b.liveList = b.liveList[:0]
+	for lane := 0; lane < b.N; lane++ {
+		b.liveList = append(b.liveList, int32(lane))
+	}
+}
+
+func (b *Batch) readInt(r isa.Reg, lane int) uint64 { return b.IntReg[r][lane] }
+func (b *Batch) readFP(r isa.Reg, lane int) uint64  { return b.FPReg[r][lane] }
+
+func (b *Batch) writeInt(r isa.Reg, lane int, v uint64) {
+	if r != isa.ZeroReg {
+		b.IntReg[r][lane] = v
+	}
+}
+
+func (b *Batch) writeFP(r isa.Reg, lane int, v uint64) {
+	if r != isa.ZeroReg {
+		b.FPReg[r][lane] = v
+	}
+}
+
+func (b *Batch) corrupt(lane int, p CorruptPoint, pc uint64, v uint64) uint64 {
+	if c := b.Corrupt[lane]; c != nil {
+		return c(p, b.Seq[lane], pc, v)
+	}
+	return v
+}
+
+// Live returns the number of lanes still running.
+func (b *Batch) Live() int {
+	live := 0
+	for _, h := range b.Halted {
+		if !h {
+			live++
+		}
+	}
+	return live
+}
+
+// Step advances every live lane by one instruction and returns the number
+// of lanes still live afterwards. Halted lanes are skipped (a halted
+// scalar Thread's Step is a state no-op, so skipping keeps batch and
+// scalar state equal). A lane whose PC has left the code image traps
+// (Tolerant) or panics, exactly as Thread.StepInto does.
+//
+// With no Observer attached, the round runs SIMT-style: live lanes are
+// bucketed by PC and each bucket executes through one column-handler call,
+// so dispatch is paid once per distinct PC instead of once per lane, the
+// handler sweeps contiguous register columns, and no Outcome is
+// materialised. Campaign replays keep most lanes at the same PC for most
+// rounds (one injected bit flip rarely redirects control flow at once), so
+// a round is typically one or two handler calls. With an Observer the
+// per-lane handlers run in ascending lane order and report every executed
+// instruction; both paths are held bit-equal to the scalar oracle by the
+// vm and vmdiff differential batteries.
+func (b *Batch) Step() int {
+	if b.Observer != nil {
+		return b.stepObserved()
+	}
+	live := b.liveList
+	if len(live) == 0 {
+		return 0
+	}
+	codeLen := uint64(len(b.Prog.Code))
+	pc0 := b.PC[live[0]]
+	uniform := true
+	for _, ln := range live[1:] {
+		if b.PC[ln] != pc0 {
+			uniform = false
+			break
+		}
+	}
+	if uniform && pc0 < codeLen {
+		b.cols[pc0](live)
+		if !b.colHalts[pc0] {
+			// Nothing halted: an in-image non-HALT instruction cannot park
+			// a lane, so the live list is still exact.
+			return len(live)
+		}
+	} else {
+		b.stepDiverged(live, codeLen)
+	}
+	return b.compactLive()
+}
+
+// stepDiverged executes one round for lanes parked at different PCs:
+// bucket by PC (headByPC chains through nextLane), one column-handler call
+// per bucket. Out-of-image lanes trap.
+func (b *Batch) stepDiverged(live []int32, codeLen uint64) {
+	touched := b.touched[:0]
+	for _, lane := range live {
+		pc := b.PC[lane]
+		if pc >= codeLen {
+			b.trapLane(int(lane), &b.out)
+			continue
+		}
+		if b.headByPC[pc] < 0 {
+			touched = append(touched, pc)
+		}
+		b.nextLane[lane] = b.headByPC[pc]
+		b.headByPC[pc] = lane
+	}
+	b.touched = touched
+	for _, pc := range touched {
+		g := b.groupBuf[:0]
+		for i := b.headByPC[pc]; i >= 0; i = b.nextLane[i] {
+			g = append(g, i)
+		}
+		b.headByPC[pc] = -1
+		b.cols[pc](g)
+	}
+}
+
+// compactLive drops freshly halted lanes from the live list and returns
+// the live count.
+func (b *Batch) compactLive() int {
+	live := b.liveList
+	k := 0
+	for _, ln := range live {
+		if !b.Halted[ln] {
+			live[k] = ln
+			k++
+		}
+	}
+	b.liveList = live[:k]
+	return k
+}
+
+// stepObserved is the per-lane round: ascending lane order, full Outcome
+// per executed instruction, Observer called for each. It rebuilds the live
+// list afterwards so observed and unobserved rounds can interleave.
+func (b *Batch) stepObserved() int {
+	out := &b.out
+	codeLen := uint64(len(b.Prog.Code))
+	for lane := 0; lane < b.N; lane++ {
+		if b.Halted[lane] {
+			continue
+		}
+		pc := b.PC[lane]
+		if pc >= codeLen {
+			b.trapLane(lane, out)
+			continue
+		}
+		b.ops[pc](b, lane, out)
+		b.Observer(lane, out)
+	}
+	live := b.liveList[:0]
+	for lane := 0; lane < b.N; lane++ {
+		if !b.Halted[lane] {
+			live = append(live, int32(lane))
+		}
+	}
+	b.liveList = live
+	return len(live)
+}
+
+// Run executes up to maxRounds lockstep rounds (one instruction per live
+// lane per round), stopping early when every lane has halted, and returns
+// the number of rounds executed.
+func (b *Batch) Run(maxRounds uint64) uint64 {
+	live := b.Live()
+	var rounds uint64
+	for ; rounds < maxRounds && live > 0; rounds++ {
+		live = b.Step()
+	}
+	return rounds
+}
+
+func (b *Batch) trapLane(lane int, out *Outcome) {
+	if !b.Tolerant {
+		panic(fmt.Sprintf("vm: batch lane %d PC %d outside %q code (len %d)",
+			lane, b.PC[lane], b.Prog.Name, len(b.Prog.Code)))
+	}
+	b.Halted[lane] = true
+	b.Trapped[lane] = true
+	*out = Outcome{Seq: b.Seq[lane], PC: b.PC[lane], Instr: isa.Instr{Op: isa.HALT}, NextPC: b.PC[lane], Halted: true, Trap: true}
+	if b.Observer != nil {
+		b.Observer(lane, out)
+	}
+}
+
+// laneFn is one compiled batch handler: the lane-indexed form of stepFn.
+type laneFn func(b *Batch, lane int, out *Outcome)
+
+// buildLaneOps compiles prog into the batch per-PC handler table. It is
+// the same specialisation as scalarFn over the same semOf decode, acting
+// on SoA columns instead of a Thread.
+func buildLaneOps(prog *isa.Program) []laneFn {
+	ops := make([]laneFn, len(prog.Code))
+	for pc := range prog.Code {
+		ops[pc] = laneFnOf(semOf(prog.Code[pc]), uint64(pc))
+	}
+	return ops
+}
+
+func laneFnOf(s sem, pc uint64) laneFn {
+	ins := s.ins
+	next := pc + 1
+	switch s.shape {
+	case shNop:
+		return func(b *Batch, lane int, out *Outcome) {
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: next}
+			b.PC[lane] = next
+			b.Seq[lane]++
+		}
+
+	case shHalt:
+		return func(b *Batch, lane int, out *Outcome) {
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: next, Halted: true}
+			b.Halted[lane] = true
+			b.Seq[lane]++
+		}
+
+	case shALU:
+		fn, ra, rb, rd := s.fn, ins.Ra, ins.Rb, ins.Rd
+		aFP, bFP, bImm, noA, noB, destFP := s.aFP, s.bFP, s.bImm, s.noA, s.noB, s.destFP
+		imm := uint64(ins.Imm)
+		return func(b *Batch, lane int, out *Outcome) {
+			var a, bv uint64
+			if !noA {
+				if aFP {
+					a = b.readFP(ra, lane)
+				} else {
+					a = b.readInt(ra, lane)
+				}
+			}
+			if bImm {
+				bv = imm
+			} else if !noB {
+				if bFP {
+					bv = b.readFP(rb, lane)
+				} else {
+					bv = b.readInt(rb, lane)
+				}
+			}
+			v := b.corrupt(lane, PointResult, pc, fn(a, bv))
+			if destFP {
+				b.writeFP(rd, lane, v)
+			} else {
+				b.writeInt(rd, lane, v)
+			}
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: next, DestVal: v}
+			b.PC[lane] = next
+			b.Seq[lane]++
+		}
+
+	case shLoad:
+		ra, rd := ins.Ra, ins.Rd
+		imm := uint64(ins.Imm)
+		byteOp, destFP, size := s.byteOp, s.destFP, s.size
+		return func(b *Batch, lane int, out *Outcome) {
+			addr := b.readInt(ra, lane) + imm
+			var v uint64
+			if byteOp {
+				v = uint64(b.Mem[lane].Byte(addr))
+			} else {
+				v = b.Mem[lane].Read64(addr)
+			}
+			v = b.corrupt(lane, PointLoadValue, pc, v)
+			v = b.corrupt(lane, PointResult, pc, v)
+			if destFP {
+				b.writeFP(rd, lane, v)
+			} else {
+				b.writeInt(rd, lane, v)
+			}
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: next, Addr: addr, Size: size, Value: v, DestVal: v}
+			b.PC[lane] = next
+			b.Seq[lane]++
+		}
+
+	case shLoadIO:
+		ra, rd := ins.Ra, ins.Rd
+		imm := uint64(ins.Imm)
+		size := s.size
+		return func(b *Batch, lane int, out *Outcome) {
+			addr := b.readInt(ra, lane) + imm
+			var v uint64
+			if b.IORead != nil {
+				v = b.IORead(addr)
+			}
+			v = b.corrupt(lane, PointLoadValue, pc, v)
+			v = b.corrupt(lane, PointResult, pc, v)
+			b.writeInt(rd, lane, v)
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: next, Addr: addr, Size: size, Value: v, DestVal: v}
+			b.PC[lane] = next
+			b.Seq[lane]++
+		}
+
+	case shStore, shStoreIO:
+		ra, rd := ins.Ra, ins.Rd
+		imm := uint64(ins.Imm)
+		srcFP, byteOp, size := s.srcFP, s.byteOp, s.size
+		cached := s.shape == shStore
+		return func(b *Batch, lane int, out *Outcome) {
+			addr := b.corrupt(lane, PointStoreAddr, pc, b.readInt(ra, lane)+imm)
+			var v uint64
+			switch {
+			case srcFP:
+				v = b.readFP(rd, lane)
+			case byteOp:
+				v = b.readInt(rd, lane) & 0xff
+			default:
+				v = b.readInt(rd, lane)
+			}
+			v = b.corrupt(lane, PointStoreData, pc, v)
+			if cached {
+				b.Mem[lane].Store(addr, v, size, b.Seq[lane])
+			}
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: next, Addr: addr, Size: size, Value: v}
+			b.PC[lane] = next
+			b.Seq[lane]++
+		}
+
+	case shBR:
+		target := ins.BranchTarget(pc)
+		return func(b *Batch, lane int, out *Outcome) {
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: target, Taken: true}
+			b.PC[lane] = target
+			b.Seq[lane]++
+		}
+
+	case shCondBr:
+		cond, ra := s.cond, ins.Ra
+		target := ins.BranchTarget(pc)
+		return func(b *Batch, lane int, out *Outcome) {
+			npc := next
+			taken := cond(b.readInt(ra, lane))
+			if taken {
+				npc = target
+			}
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: npc, Taken: taken}
+			b.PC[lane] = npc
+			b.Seq[lane]++
+		}
+
+	case shJSR:
+		rd := ins.Rd
+		target := ins.BranchTarget(pc)
+		return func(b *Batch, lane int, out *Outcome) {
+			link := b.corrupt(lane, PointResult, pc, next)
+			b.writeInt(rd, lane, link)
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: target, Taken: true, DestVal: link}
+			b.PC[lane] = target
+			b.Seq[lane]++
+		}
+
+	case shJMP:
+		ra, rd := ins.Ra, ins.Rd
+		return func(b *Batch, lane int, out *Outcome) {
+			// Jump target read before the link writeback (rd may alias ra).
+			npc := b.readInt(ra, lane)
+			link := b.corrupt(lane, PointResult, pc, next)
+			b.writeInt(rd, lane, link)
+			*out = Outcome{Seq: b.Seq[lane], PC: pc, Instr: ins, NextPC: npc, Taken: true, DestVal: link}
+			b.PC[lane] = npc
+			b.Seq[lane]++
+		}
+	}
+	panic(fmt.Sprintf("vm: no batch handler shape for opcode %v", s.ins.Op))
+}

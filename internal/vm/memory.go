@@ -12,6 +12,8 @@
 // releases them (after output comparison in RMT modes).
 package vm
 
+import mathbits "math/bits" // plain `bits` is taken by the float64 view helper
+
 const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
@@ -24,6 +26,12 @@ type page [pageSize]byte
 // value is ready to use. All unwritten bytes read as zero.
 type Memory struct {
 	pages map[uint64]*page
+
+	// Direct-mapped page cache (indexed by low page-number bits): kernel
+	// working sets span a few pages, so most accesses skip the map probe.
+	// Pure cache over pages — nothing to snapshot.
+	cachePN [16]uint64 //rmtsnap:skip — derived cache
+	cacheP  [16]*page  //rmtsnap:skip — derived cache
 }
 
 // NewMemory returns an empty memory image.
@@ -33,11 +41,22 @@ func NewMemory() *Memory {
 
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	pn := addr >> pageShift
+	slot := pn & 15
+	if p := m.cacheP[slot]; p != nil && m.cachePN[slot] == pn {
+		return p
+	}
 	p := m.pages[pn]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil
+		}
 		p = new(page)
+		if m.pages == nil {
+			m.pages = make(map[uint64]*page)
+		}
 		m.pages[pn] = p
 	}
+	m.cachePN[slot], m.cacheP[slot] = pn, p
 	return p
 }
 
@@ -105,39 +124,132 @@ func (m *Memory) SetBytes(addr uint64, b []byte) {
 // Pages returns the number of resident pages (for footprint accounting).
 func (m *Memory) Pages() int { return len(m.pages) }
 
-// overlayByte is one pending (not yet released) store byte. seq identifies
-// the youngest store that wrote it, so release can tell whether the byte is
-// still live in the overlay.
-type overlayByte struct {
-	val byte
-	seq uint64
+// overlayWord holds the pending (not yet released) store bytes of one
+// aligned 8-byte span. mask bit i marks byte i pending; val keeps that
+// byte at bits [8i, 8i+8); seq[i] identifies the youngest store that wrote
+// it, so release can tell whether the byte is still live in the overlay.
+//
+// Word granularity is a hot-path decision: the dominant overlay traffic is
+// aligned 8-byte STQ/LDQ from the functional engines, which costs one map
+// operation per access here versus eight under a per-byte map, and batch
+// campaigns sweep dozens of lane overlays per round, so the map footprint
+// they drag through the cache shrinks by the same factor.
+type overlayWord struct {
+	val  uint64
+	mask uint32
+	seq  [8]uint64
 }
+
+// maskSpread expands pending-byte mask bit i to byte i = 0xff, for merging
+// overlay bytes over the committed word without a per-byte loop.
+var maskSpread = func() (t [256]uint64) { //rmtlint:allow sharedstate — immutable lookup table, built once before any run
+	for m := 1; m < 256; m++ {
+		for i := 0; i < 8; i++ {
+			if m&(1<<i) != 0 {
+				t[m] |= 0xff << (8 * i)
+			}
+		}
+	}
+	return
+}()
 
 // Overlay is a thread-private view of pending stores layered over a shared
 // committed Memory. It models the architectural contents of the thread's
 // store queue: loads from the owning thread see overlay bytes first.
 type Overlay struct {
-	mem     *Memory //rmtsnap:skip — wiring to shared memory, which snapshots itself
-	pending map[uint64]overlayByte
+	mem   *Memory //rmtsnap:skip — wiring to shared memory, which snapshots itself
+	words map[uint64]*overlayWord
+	n     int // pending byte count (sum of the word masks' popcounts)
+
+	// filter is a 64-bit presence summary over hashed word addresses: a
+	// clear bit proves the word was never stored, letting loads from
+	// never-stored addresses skip the map probe entirely (the common case —
+	// kernels read far more addresses than they write). Conservative: bits
+	// are set on store and only cleared wholesale on Reset/RestoreFrom, so
+	// a released byte may leave a stale bit, which costs one redundant map
+	// probe and nothing else.
+	filter uint64 //rmtsnap:skip — derived presence summary, rebuilt from words on restore
+
+	// Direct-mapped word cache (indexed by low word-address bits): kernels
+	// bang on a handful of STQ/LDQ targets, so most accesses hit here and
+	// skip the map probe. Pure cache over words — nothing to snapshot.
+	cacheWA [8]uint64       //rmtsnap:skip — derived cache
+	cacheW  [8]*overlayWord //rmtsnap:skip — derived cache
 }
+
+func filterBit(wa uint64) uint64 { return 1 << ((wa * 0x9E3779B97F4A7C15) >> 58) }
 
 // NewOverlay returns an empty overlay over mem.
 func NewOverlay(mem *Memory) *Overlay {
-	return &Overlay{mem: mem, pending: make(map[uint64]overlayByte)}
+	return &Overlay{mem: mem, words: make(map[uint64]*overlayWord)}
+}
+
+// Reset repoints the overlay at mem and clears its pending bytes in place.
+// Released and cleared words stay in the map as empty entries so a recycled
+// overlay re-stores to the same addresses without allocating (Batch pool
+// reuse); the footprint is bounded by the distinct words ever stored.
+func (o *Overlay) Reset(mem *Memory) {
+	o.mem = mem
+	for _, w := range o.words {
+		w.mask = 0
+	}
+	o.n = 0
+	o.filter = 0
+}
+
+func (o *Overlay) wordFor(wa uint64) *overlayWord {
+	slot := wa & 7
+	if w := o.cacheW[slot]; w != nil && o.cacheWA[slot] == wa {
+		return w
+	}
+	w := o.words[wa]
+	if w == nil {
+		w = new(overlayWord)
+		o.words[wa] = w
+	}
+	o.cacheWA[slot], o.cacheW[slot] = wa, w
+	return w
+}
+
+// cachedWord is the read-side probe: cache hit, else map lookup (filling
+// the cache on hit), else nil.
+func (o *Overlay) cachedWord(wa uint64) *overlayWord {
+	slot := wa & 7
+	if w := o.cacheW[slot]; w != nil && o.cacheWA[slot] == wa {
+		return w
+	}
+	w := o.words[wa]
+	if w != nil {
+		o.cacheWA[slot], o.cacheW[slot] = wa, w
+	}
+	return w
 }
 
 // Byte returns the thread-visible byte at addr.
 func (o *Overlay) Byte(addr uint64) byte {
-	if b, ok := o.pending[addr]; ok {
-		return b.val
+	if o.filter&filterBit(addr>>3) != 0 {
+		if w := o.words[addr>>3]; w != nil && w.mask&(1<<(addr&7)) != 0 {
+			return byte(w.val >> ((addr & 7) * 8))
+		}
 	}
 	return o.mem.Byte(addr)
 }
 
 // Read64 returns the thread-visible 64-bit value at addr.
 func (o *Overlay) Read64(addr uint64) uint64 {
-	if len(o.pending) == 0 {
+	if o.filter&filterBit(addr>>3) == 0 && addr&7 == 0 {
 		return o.mem.Read64(addr)
+	}
+	if addr&7 == 0 {
+		w := o.cachedWord(addr >> 3)
+		if w == nil || w.mask == 0 {
+			return o.mem.Read64(addr)
+		}
+		if w.mask == 0xff {
+			return w.val
+		}
+		m := maskSpread[w.mask]
+		return o.mem.Read64(addr)&^m | w.val&m
 	}
 	var v uint64
 	for i := 0; i < 8; i++ {
@@ -146,14 +258,39 @@ func (o *Overlay) Read64(addr uint64) uint64 {
 	return v
 }
 
+func (o *Overlay) storeByte(a uint64, v byte, seq uint64) {
+	o.filter |= filterBit(a >> 3)
+	w := o.wordFor(a >> 3)
+	bit := uint32(1) << (a & 7)
+	if w.mask&bit == 0 {
+		w.mask |= bit
+		o.n++
+	}
+	sh := (a & 7) * 8
+	w.val = w.val&^(uint64(0xff)<<sh) | uint64(v)<<sh
+	w.seq[a&7] = seq
+}
+
 // Store records a pending store of the low `size` bytes of val at addr,
 // tagged with the dynamic sequence number seq (strictly increasing per
 // thread).
 func (o *Overlay) Store(addr uint64, val uint64, size int, seq uint64) {
+	if size == 8 && addr&7 == 0 {
+		o.filter |= filterBit(addr >> 3)
+		w := o.wordFor(addr >> 3)
+		o.n += 8 - mathbits.OnesCount8(uint8(w.mask))
+		w.val = val
+		w.mask = 0xff
+		for i := range w.seq {
+			w.seq[i] = seq
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
-		o.pending[addr+uint64(i)] = overlayByte{val: byte(val >> (8 * i)), seq: seq}
+		o.storeByte(addr+uint64(i), byte(val>>(8*i)), seq)
 	}
 }
+
 
 // Release commits the store identified by (addr, val, size, seq) to the
 // shared memory and drops overlay bytes that still belong to it. If commit
@@ -165,14 +302,18 @@ func (o *Overlay) Release(addr uint64, val uint64, size int, seq uint64, commit 
 		if commit {
 			o.mem.SetByte(a, byte(val>>(8*i)))
 		}
-		if b, ok := o.pending[a]; ok && b.seq == seq {
-			delete(o.pending, a)
+		if w := o.words[a>>3]; w != nil {
+			bit := uint32(1) << (a & 7)
+			if w.mask&bit != 0 && w.seq[a&7] == seq {
+				w.mask &^= bit
+				o.n--
+			}
 		}
 	}
 }
 
 // PendingBytes returns the number of bytes currently held in the overlay.
-func (o *Overlay) PendingBytes() int { return len(o.pending) }
+func (o *Overlay) PendingBytes() int { return o.n }
 
 // Backing returns the committed memory under the overlay.
 func (o *Overlay) Backing() *Memory { return o.mem }

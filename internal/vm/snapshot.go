@@ -33,6 +33,7 @@ func (m *Memory) SnapshotTo(w *snap.Writer) {
 func (m *Memory) RestoreFrom(r *snap.Reader) {
 	n := r.Count(16)
 	m.pages = make(map[uint64]*page, n)
+	m.cacheP = [16]*page{} // cached pointers target the replaced map's entries
 	for i := 0; i < n; i++ {
 		pn := r.U64()
 		b := r.Bytes()
@@ -49,17 +50,24 @@ func (m *Memory) RestoreFrom(r *snap.Reader) {
 // order. The backing Memory is shared between threads and serialized once
 // by the machine layer, not here.
 func (o *Overlay) SnapshotTo(w *snap.Writer) {
-	addrs := make([]uint64, 0, len(o.pending))
-	for a := range o.pending {
-		addrs = append(addrs, a)
+	was := make([]uint64, 0, len(o.words))
+	for wa := range o.words {
+		was = append(was, wa)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	w.U64(uint64(len(addrs)))
-	for _, a := range addrs {
-		b := o.pending[a]
-		w.U64(a)
-		w.U64(uint64(b.val))
-		w.U64(b.seq)
+	sort.Slice(was, func(i, j int) bool { return was[i] < was[j] })
+	w.U64(uint64(o.n))
+	for _, wa := range was {
+		ow := o.words[wa]
+		if ow.mask == 0 {
+			continue // tombstone kept for pool reuse, nothing pending
+		}
+		for i := uint64(0); i < 8; i++ {
+			if ow.mask&(1<<i) != 0 {
+				w.U64(wa<<3 | i)
+				w.U64(uint64(byte(ow.val >> (8 * i))))
+				w.U64(ow.seq[i])
+			}
+		}
 	}
 }
 
@@ -67,12 +75,15 @@ func (o *Overlay) SnapshotTo(w *snap.Writer) {
 // link untouched.
 func (o *Overlay) RestoreFrom(r *snap.Reader) {
 	n := r.Count(24)
-	o.pending = make(map[uint64]overlayByte, n)
+	o.words = make(map[uint64]*overlayWord, (n+7)/8)
+	o.n = 0
+	o.filter = 0
+	o.cacheW = [8]*overlayWord{} // cached pointers target the replaced map's entries
 	for i := 0; i < n; i++ {
 		a := r.U64()
 		val := byte(r.U64())
 		seq := r.U64()
-		o.pending[a] = overlayByte{val: val, seq: seq}
+		o.storeByte(a, val, seq)
 	}
 }
 
@@ -90,6 +101,7 @@ func (t *Thread) SnapshotTo(w *snap.Writer) {
 	w.U64(t.Seq)
 	w.Bool(t.Halted)
 	w.Bool(t.Tolerant)
+	w.Bool(t.Trapped)
 	t.Mem.SnapshotTo(w)
 }
 
@@ -105,6 +117,7 @@ func (t *Thread) RestoreFrom(r *snap.Reader) {
 	t.Seq = r.U64()
 	t.Halted = r.Bool()
 	t.Tolerant = r.Bool()
+	t.Trapped = r.Bool()
 	t.Mem.RestoreFrom(r)
 }
 

@@ -52,6 +52,13 @@ type Outcome struct {
 	DestVal uint64
 
 	Halted bool
+
+	// Trap marks a tolerant halt: the PC left the code image (a corrupted
+	// jump target under fault injection) and the thread halted in place
+	// instead of panicking. Scalar and batched execution report it
+	// identically: the overrunning step and every no-op step after it
+	// carry Trap, and Seq does not advance.
+	Trap bool
 }
 
 // IsStore reports whether the outcome is a store.
@@ -95,18 +102,41 @@ type Thread struct {
 	Seq uint64
 
 	Halted bool
+
+	// Trapped records that Halted was set by a tolerant out-of-image PC
+	// rather than a HALT instruction (see Outcome.Trap).
+	Trapped bool
+
+	// ops is the per-PC predecoded handler table (threaded dispatch); nil
+	// selects the original decode switch.
+	ops []stepFn //rmtsnap:skip — compiled view of Prog, rebuilt at construction
+
+	// stepOut backs Step's by-value return: passing a stack variable's
+	// address into the handler closures would make escape analysis
+	// heap-allocate it per step.
+	stepOut Outcome //rmtsnap:skip — scratch buffer, dead between steps
 }
 
 // NewThread creates a thread at the program entry with a fresh overlay over
 // mem. The program's initial data image must already have been loaded into
-// mem (see Load).
+// mem (see Load). The thread steps with the default threaded dispatch; use
+// NewThreadWith to select the switch oracle.
 func NewThread(id int, prog *isa.Program, mem *Memory) *Thread {
-	return &Thread{
+	return NewThreadWith(id, prog, mem, Config{})
+}
+
+// NewThreadWith is NewThread with an explicit functional-engine config.
+func NewThreadWith(id int, prog *isa.Program, mem *Memory, cfg Config) *Thread {
+	t := &Thread{
 		ID:   id,
 		Prog: prog,
 		PC:   prog.Entry,
 		Mem:  NewOverlay(mem),
 	}
+	if cfg.Dispatch == DispatchThreaded {
+		t.ops = buildOps(prog)
+	}
+	return t
 }
 
 // Load initialises mem with the program's data image.
@@ -161,21 +191,44 @@ func boolBits(b bool) uint64 {
 // Step functionally executes the instruction at the current PC and advances
 // architectural state. It panics if the PC is outside the program (programs
 // are validated at build time, so this indicates a simulator bug) and
-// returns a no-op outcome if the thread has halted.
+// returns a no-op outcome if the thread has halted. If Tolerant is set, an
+// out-of-image PC halts the thread with Outcome.Trap instead of panicking.
 func (t *Thread) Step() Outcome {
+	t.StepInto(&t.stepOut)
+	return t.stepOut
+}
+
+// StepInto is Step writing the outcome into out instead of returning it by
+// value — the allocation- and copy-free form the pipeline and the
+// characterisation replay use.
+func (t *Thread) StepInto(out *Outcome) {
 	if t.Halted {
-		return Outcome{Seq: t.Seq, PC: t.PC, Instr: isa.Instr{Op: isa.HALT}, NextPC: t.PC, Halted: true}
+		*out = Outcome{Seq: t.Seq, PC: t.PC, Instr: isa.Instr{Op: isa.HALT}, NextPC: t.PC, Halted: true, Trap: t.Trapped}
+		return
 	}
 	if t.PC >= uint64(len(t.Prog.Code)) {
 		if t.Tolerant {
 			t.Halted = true
-			return Outcome{Seq: t.Seq, PC: t.PC, Instr: isa.Instr{Op: isa.HALT}, NextPC: t.PC, Halted: true}
+			t.Trapped = true
+			*out = Outcome{Seq: t.Seq, PC: t.PC, Instr: isa.Instr{Op: isa.HALT}, NextPC: t.PC, Halted: true, Trap: true}
+			return
 		}
 		panic(fmt.Sprintf("vm: thread %d PC %d outside %q code (len %d)",
 			t.ID, t.PC, t.Prog.Name, len(t.Prog.Code)))
 	}
+	if t.ops != nil {
+		t.ops[t.PC](t, out)
+		return
+	}
+	t.stepSwitch(out)
+}
+
+// stepSwitch is the original decode-per-step interpreter, retained
+// verbatim as the differential oracle for the threaded handler tables
+// (select it with Config{Dispatch: DispatchSwitch}).
+func (t *Thread) stepSwitch(out *Outcome) {
 	ins := t.Prog.Code[t.PC]
-	out := Outcome{Seq: t.Seq, PC: t.PC, Instr: ins, NextPC: t.PC + 1}
+	*out = Outcome{Seq: t.Seq, PC: t.PC, Instr: ins, NextPC: t.PC + 1}
 
 	switch ins.Op {
 	case isa.NOP:
@@ -385,7 +438,6 @@ func (t *Thread) Step() Outcome {
 		t.PC = out.NextPC
 	}
 	t.Seq++
-	return out
 }
 
 // Interrupt redirects the thread to an interrupt handler, hardware-style:

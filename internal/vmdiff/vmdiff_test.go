@@ -1,0 +1,62 @@
+package vmdiff
+
+import (
+	"testing"
+
+	"repro/internal/progen"
+)
+
+// corpusSeed mirrors the fixed-corpus constant the other batteries pin
+// (internal/progen, internal/sim, EXPERIMENTS.md).
+const corpusSeed = 0xC0FFEE
+
+// TestVerifyCorpus locksteps a slice of the fixed corpus — the full
+// 64-kernel battery lives in internal/sim's gen battery; this is the
+// package's own fast gate.
+func TestVerifyCorpus(t *testing.T) {
+	if err := VerifyCorpus(corpusSeed, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockstepDetectsDivergence: the harness must actually flag a batch
+// whose lane state is perturbed out from under it — a harness that cannot
+// fail proves nothing.
+func TestLockstepDetectsDivergence(t *testing.T) {
+	k := progen.Generate(progen.CorpusSeeds(corpusSeed, 1)[0])
+	l := NewLockstep(k.Prog, 2, Options{})
+	l.SweepEvery = 1 // every-round sweep: the strike must be seen before the program can overwrite it
+	if _, err := l.Round(); err != nil {
+		t.Fatalf("clean first round diverged: %v", err)
+	}
+	l.Batch.IntReg[3][1] ^= 1 << 17 // strike lane 1's r3 behind the oracle's back
+	var err error
+	for round := 0; round < int(4*k.MaxDynInstr); round++ {
+		var live int
+		live, err = l.Round()
+		if err != nil || live == 0 {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("lockstep never flagged a perturbed lane")
+	}
+}
+
+// FuzzBatchStep: for arbitrary (kernel seed, corruption salt, lane count),
+// the SoA batch must stay bit-equal to N independent scalar oracle threads
+// after every step. Run it under -race: the batch is single-goroutine by
+// design, and the fuzzer doubles as a check that nothing in the hot loop
+// shares state across lanes in a racy way.
+func FuzzBatchStep(f *testing.F) {
+	for i, seed := range progen.CorpusSeeds(corpusSeed, 8) {
+		f.Add(seed, uint64(i)*0xD1B54A32D192ED03, uint8(i))
+	}
+	f.Fuzz(func(t *testing.T, seed, salt uint64, lanes uint8) {
+		n := 1 + int(lanes%8)
+		k := progen.Generate(seed)
+		if err := VerifyKernel(k, n, salt, 4*k.MaxDynInstr+64); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

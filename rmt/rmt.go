@@ -35,6 +35,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/vm"
 )
 
 // Mode selects the machine organisation.
@@ -131,6 +132,8 @@ type config struct {
 	resume          []byte
 
 	staticPruning bool
+
+	dispatch Dispatch
 }
 
 // Default sizes for Run/Sweep/BaseIPC when no WithBudget/WithWarmup option
@@ -219,6 +222,36 @@ func WithCheckpoint(every uint64, sink func(cycle uint64, snapshot []byte) error
 		c.checkpointEvery = every
 		c.checkpointSink = sink
 	}
+}
+
+// Dispatch selects the functional execution engine's dispatch strategy.
+type Dispatch int
+
+// Dispatch strategies.
+const (
+	// DispatchThreaded (the default) steps with per-program predecoded
+	// handler tables: decode happens once at machine build, each step is
+	// one indirect call.
+	DispatchThreaded Dispatch = iota
+	// DispatchSwitch selects the original decode-per-step switch
+	// interpreter — the differential oracle and the benchmark baseline.
+	DispatchSwitch
+)
+
+// WithDispatch selects the functional engine's dispatch strategy.
+// Dispatch is timing-invariant — cycle results, summaries, and snapshots
+// are byte-identical under either engine (gated by the dispatch battery)
+// — so like WithStaticPruning it is execution policy, not part of the
+// experiment definition: it never enters the daemon's wire contract or
+// cache keys, and Client ignores it.
+func WithDispatch(d Dispatch) Option { return func(c *config) { c.dispatch = d } }
+
+// vmConfig maps the option onto the functional engine's config.
+func (c config) vmConfig() vm.Config {
+	if c.dispatch == DispatchSwitch {
+		return vm.Config{Dispatch: vm.DispatchSwitch}
+	}
+	return vm.Config{}
 }
 
 // WithStaticPruning lets fault campaigns classify trials at
@@ -391,6 +424,7 @@ func runOne(ctx context.Context, spec Spec, c config) (*Result, error) {
 		PerThreadSQ:       spec.PerThreadSQ,
 		NoStoreComparison: spec.NoStoreComparison,
 		CheckerLatency:    spec.CheckerLatency,
+		VM:                c.vmConfig(),
 	}
 	var m *sim.Machine
 	if c.resume != nil {

@@ -82,6 +82,7 @@ func Campaign(ctx context.Context, cs CampaignSpec, opts ...Option) (*CampaignSu
 		PSR:               cs.Spec.PSR,
 		PerThreadSQ:       cs.Spec.PerThreadSQ,
 		NoStoreComparison: cs.Spec.NoStoreComparison,
+		VM:                c.vmConfig(),
 	}
 	fopts := fault.CampaignOptions{
 		Parallelism:           c.parallelism,
