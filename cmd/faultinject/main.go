@@ -9,6 +9,8 @@
 //
 //	faultinject -progs compress -n 50            # campaign on SRT
 //	faultinject -mode crt -progs gcc,swim -n 20  # campaign on CRT
+//	faultinject -mode srtr -progs gcc -n 50      # recovery campaign (SRTR)
+//	faultinject -mode adaptive -theta 0.75 -n 50 # partial redundancy
 //	faultinject -progs gcc -n 200 -parallel 8    # sharded campaign
 //	faultinject -n 50 -server http://host:8471   # campaign on an rmtd daemon
 //	faultinject -progs gcc -n 200 -prune         # skip statically-masked trials
@@ -35,10 +37,11 @@ import (
 
 func main() {
 	var (
-		modeFlag  = flag.String("mode", "srt", "machine: srt or crt")
+		modeFlag  = flag.String("mode", "srt", "machine: srt, crt, srtr or adaptive")
 		progsFlag = flag.String("progs", "compress", "comma-separated workload kernels")
 		n         = flag.Int("n", 40, "campaign size")
 		seed      = flag.Uint64("seed", 0xC0FFEE, "campaign seed")
+		theta     = flag.Float64("theta", 0.5, "adaptive-mode protection threshold θ in [0,1]")
 
 		server = flag.String("server", "", "run the campaign on an rmtd daemon at this base URL instead of in-process")
 
@@ -68,8 +71,10 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("faultinject: %w", err))
 	}
-	if mode != sim.ModeSRT && mode != sim.ModeCRT {
-		fatal(fmt.Errorf("faultinject: mode must be srt or crt"))
+	switch mode {
+	case sim.ModeSRT, sim.ModeCRT, sim.ModeSRTR, sim.ModeAdaptive:
+	default:
+		fatal(fmt.Errorf("faultinject: mode must be srt, crt, srtr or adaptive"))
 	}
 	budget, warmup := sf.Sizes(20000, 5000, 8000, 2000)
 	spec := sim.Spec{
@@ -79,6 +84,9 @@ func main() {
 		Warmup:   warmup,
 		Config:   pipeline.DefaultConfig(),
 		PSR:      true,
+	}
+	if mode == sim.ModeAdaptive {
+		spec.AdaptiveThreshold = *theta
 	}
 
 	if *one {
@@ -98,6 +106,9 @@ func main() {
 		fmt.Printf("injected %v\noutcome: %v\n", f, res.Outcome)
 		if res.Outcome == fault.Detected {
 			fmt.Printf("detection latency: %d cycles\n", res.DetectionCycles)
+		}
+		if res.Outcome == fault.Recovered {
+			fmt.Printf("rollbacks: %d, re-executed cycles: %d\n", res.Recoveries, res.RecoveryCycles)
 		}
 		return
 	}
@@ -128,6 +139,12 @@ func main() {
 		}
 		fmt.Printf("campaign: mode=%v progs=%v trials=%d\n", mode, spec.Programs, sum.Runs)
 		fmt.Printf("  detected:  %d\n  masked:    %d\n  not fired: %d\n", sum.Detected, sum.Masked, sum.NotFired)
+		if sum.Recovered > 0 {
+			fmt.Printf("  recovered: %d (mean re-execution %.0f cycles)\n", sum.Recovered, sum.MeanRecoveryCycles)
+		}
+		if sum.UnprotectedSDC > 0 {
+			fmt.Printf("  unprotected SDC: %d\n", sum.UnprotectedSDC)
+		}
 		fmt.Printf("  coverage of fired faults: %.1f%%\n", 100*sum.Coverage())
 		if sum.Detected > 0 {
 			fmt.Printf("  mean detection latency:   %.0f cycles\n", sum.MeanDetectionCycles)
@@ -150,7 +167,8 @@ func main() {
 		fatal(fmt.Errorf("faultinject: %w", err))
 	}
 	cs := rmt.CampaignSpec{
-		Spec: rmt.Spec{Mode: rmtMode, Programs: spec.Programs, PSR: true},
+		Spec: rmt.Spec{Mode: rmtMode, Programs: spec.Programs, PSR: true,
+			AdaptiveThreshold: spec.AdaptiveThreshold},
 		N:    *n,
 		Seed: *seed,
 	}
@@ -168,6 +186,12 @@ func main() {
 	}
 	fmt.Printf("campaign: mode=%v progs=%v trials=%d\n", mode, spec.Programs, sum.Runs)
 	fmt.Printf("  detected:  %d\n  masked:    %d\n  not fired: %d\n", sum.Detected, sum.Masked, sum.NotFired)
+	if sum.Recovered > 0 {
+		fmt.Printf("  recovered: %d (mean re-execution %.0f cycles)\n", sum.Recovered, sum.MeanRecoveryCycles)
+	}
+	if sum.UnprotectedSDC > 0 {
+		fmt.Printf("  unprotected SDC: %d\n", sum.UnprotectedSDC)
+	}
 	fmt.Printf("  coverage of fired faults: %.1f%%\n", 100*sum.Coverage)
 	if sum.Detected > 0 {
 		fmt.Printf("  mean detection latency:   %.0f cycles\n", sum.MeanDetectionCycles)

@@ -92,6 +92,11 @@ type VulnerabilityProfile struct {
 	// assume every register live everywhere; no site is then provably
 	// masked except unreachable and zero-reg ones.
 	Conservative bool `json:"conservative,omitempty"`
+	// LiveIn holds the per-pc live-register count on entry (0 for
+	// unreachable pcs) — the raw series behind LiveRegDensity. Excluded
+	// from the JSON profile: consumers that need per-pc vulnerability
+	// (the adaptive-redundancy protection table) read it in-process.
+	LiveIn []int `json:"-"`
 }
 
 // DestMasked reports whether the destination-register site at pc is
@@ -139,9 +144,11 @@ func AnalyzeProgram(p *isa.Program) (*VulnerabilityProfile, error) {
 	}
 
 	var liveSum int
+	prof.LiveIn = make([]int, len(p.Code))
 	for pc, ins := range p.Code {
 		if reach[pc] {
-			liveSum += lv.In[pc].Count()
+			prof.LiveIn[pc] = lv.In[pc].Count()
+			liveSum += prof.LiveIn[pc]
 		}
 		if ins.IsStore() {
 			prof.StoreSites += 2

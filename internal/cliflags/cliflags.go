@@ -158,8 +158,12 @@ func ParseMode(s string) (sim.Mode, error) {
 		return sim.ModeLockstep, nil
 	case "crt":
 		return sim.ModeCRT, nil
+	case "srtr":
+		return sim.ModeSRTR, nil
+	case "adaptive":
+		return sim.ModeAdaptive, nil
 	}
-	return 0, fmt.Errorf("unknown mode %q (want base, base2, srt, lockstep or crt)", s)
+	return 0, fmt.Errorf("unknown mode %q (want base, base2, srt, lockstep, crt, srtr or adaptive)", s)
 }
 
 // SplitProgs splits a comma-separated -progs value, trimming spaces and

@@ -570,6 +570,164 @@ func Coverage(p Params) (*stats.Table, map[string]float64, error) {
 	return t, summary, nil
 }
 
+// FigRecovery sweeps the SRTR checkpoint interval across recovery
+// campaigns on three kernels. Every detected transient rolls back to the
+// newest validated checkpoint and re-executes the suffix, so the mean
+// re-executed cycles — the recovery latency — tracks the interval, while
+// coverage stays at SRT's detection coverage (no detected fault may end
+// the run unrecovered). Campaigns shard across Params.Parallelism; the
+// plan is drawn from the seed up front, so the table is byte-identical at
+// any parallelism.
+func FigRecovery(p Params) (*stats.Table, map[string]float64, error) {
+	intervals := []uint64{256, 512, 1024}
+	kernels := []string{"compress", "li", "vortex"}
+	cols := []string{"program"}
+	for _, iv := range intervals {
+		cols = append(cols, fmt.Sprintf("cov I=%d", iv), fmt.Sprintf("rlat I=%d", iv))
+	}
+	t := &stats.Table{
+		Title:   "Recovery: SRTR coverage and rollback re-execution vs checkpoint interval",
+		Columns: cols,
+	}
+	t.Grow(len(kernels) + 1)
+	runs := p.CampaignRuns/len(kernels) + 1
+	covSums := map[uint64][]float64{}
+	latSums := map[uint64][]float64{}
+	var recovered, unrecovered int
+	var simCycles float64
+	for _, k := range kernels {
+		row := []string{k}
+		for _, iv := range intervals {
+			spec := sim.Spec{
+				Mode: sim.ModeSRTR, Programs: []string{k},
+				Budget: p.Budget / 2, Warmup: p.Warmup / 2,
+				Config: p.Config, PSR: true,
+				CheckpointInterval: iv,
+			}
+			sum, err := fault.CampaignParallel(spec, runs, 0xBADC0DE^iv^uint64(len(k)),
+				fault.CampaignOptions{Parallelism: p.Parallelism, Progress: p.Progress, OnReport: p.OnReport})
+			if err != nil {
+				return nil, nil, err
+			}
+			recovered += sum.Recovered
+			unrecovered += sum.Detected // SRTR must leave nothing merely detected
+			simCycles += float64(sum.TotalCycles)
+			cov := sum.Coverage()
+			covSums[iv] = append(covSums[iv], cov)
+			if sum.Recovered > 0 {
+				latSums[iv] = append(latSums[iv], sum.MeanRecoveryCycles)
+			}
+			row = append(row, fmt.Sprintf("%.3f", cov), fmt.Sprintf("%.0f", sum.MeanRecoveryCycles))
+		}
+		t.AddRow(row...)
+	}
+	summary := map[string]float64{
+		"recovered":   float64(recovered),
+		"unrecovered": float64(unrecovered),
+		"simcycles":   simCycles,
+	}
+	mrow := []string{"MEAN"}
+	for _, iv := range intervals {
+		cov := stats.ArithMean(covSums[iv])
+		lat := stats.ArithMean(latSums[iv])
+		summary[fmt.Sprintf("coverage.i%d", iv)] = cov
+		summary[fmt.Sprintf("rlat.i%d", iv)] = lat
+		mrow = append(mrow, fmt.Sprintf("%.3f", cov), fmt.Sprintf("%.0f", lat))
+	}
+	t.AddRow(mrow...)
+	return t, summary, nil
+}
+
+// protectedFrac is the fraction of static instruction sites the adaptive
+// protection table keeps inside the sphere of replication (1.0 when the
+// table is nil: θ <= 0 protects everything, bit-identical to SRT).
+func protectedFrac(m *sim.Machine) float64 {
+	pair := m.Pairs[0]
+	if len(pair.Protect) == 0 {
+		return 1
+	}
+	n := 0
+	for _, on := range pair.Protect {
+		if on {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pair.Protect))
+}
+
+// FigAdaptive maps the coverage/protection frontier of adaptive partial
+// redundancy: as θ rises, the protected fraction of static sites falls,
+// faults striking unprotected regions escape as silent data corruption,
+// and campaign coverage decays from SRT's. Each θ row aggregates three
+// kernels: a fault-free run (SMT-Efficiency and the protection table) plus
+// an injection campaign classifying detected / masked / unprotected-SDC.
+func FigAdaptive(p Params) (*stats.Table, map[string]float64, error) {
+	cache := newBaseCache(p)
+	thetas := []float64{0, 0.25, 0.5, 0.75, 0.95}
+	kernels := []string{"gcc", "compress", "li"}
+	t := &stats.Table{
+		Title:   "Adaptive: partial-redundancy frontier (protection, efficiency, campaign coverage vs theta)",
+		Columns: []string{"theta", "protected", "eff", "runs", "detected", "masked", "sdc", "coverage"},
+	}
+	t.Grow(len(thetas))
+	var jobs []job
+	for _, th := range thetas {
+		for _, k := range kernels {
+			jobs = append(jobs, job{p, sim.Spec{
+				Mode: sim.ModeAdaptive, AdaptiveThreshold: th,
+				PSR: true, Programs: []string{k},
+			}})
+		}
+	}
+	res, err := sweep(p, jobs, cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	runsPer := p.CampaignRuns/len(kernels) + 1
+	summary := map[string]float64{}
+	simCycles := sumCycles(res)
+	for ti, th := range thetas {
+		var prot, effs []float64
+		for ki := range kernels {
+			r := res[ti*len(kernels)+ki]
+			prot = append(prot, protectedFrac(r.m))
+			effs = append(effs, meanEff(r.effs))
+		}
+		var det, msk, sdc, runs int
+		for _, k := range kernels {
+			spec := sim.Spec{
+				Mode: sim.ModeAdaptive, Programs: []string{k},
+				Budget: p.Budget / 2, Warmup: p.Warmup / 2,
+				Config: p.Config, PSR: true,
+				AdaptiveThreshold: th,
+			}
+			sum, err := fault.CampaignParallel(spec, runsPer, 0xADA^uint64(ti*31+len(k)),
+				fault.CampaignOptions{Parallelism: p.Parallelism, Progress: p.Progress, OnReport: p.OnReport})
+			if err != nil {
+				return nil, nil, err
+			}
+			det += sum.Detected
+			msk += sum.Masked
+			sdc += sum.UnprotectedSDC
+			runs += sum.Runs
+			simCycles += float64(sum.TotalCycles)
+		}
+		cov := float64(det) / float64(max(det+msk+sdc, 1))
+		tag := fmt.Sprintf("t%02.0f", th*100)
+		summary["protected."+tag] = stats.ArithMean(prot)
+		summary["eff."+tag] = stats.ArithMean(effs)
+		summary["coverage."+tag] = cov
+		summary["sdc."+tag] = float64(sdc)
+		t.AddRow(fmt.Sprintf("%.2f", th),
+			fmt.Sprintf("%.3f", summary["protected."+tag]),
+			fmt.Sprintf("%.3f", summary["eff."+tag]),
+			fmt.Sprint(runs), fmt.Sprint(det), fmt.Sprint(msk), fmt.Sprint(sdc),
+			fmt.Sprintf("%.3f", cov))
+	}
+	summary["simcycles"] = simCycles
+	return t, summary, nil
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

@@ -88,6 +88,48 @@ func TestFig11Shape(t *testing.T) {
 	}
 }
 
+// TestFigRecoveryShape: SRTR campaigns recover every detected fault (no
+// trial may end merely detected) and actually exercise rollback.
+func TestFigRecoveryShape(t *testing.T) {
+	_, sum, err := FigRecovery(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum["unrecovered"] != 0 {
+		t.Errorf("%v trials ended detected-but-unrecovered; SRTR must roll back every detection", sum["unrecovered"])
+	}
+	if sum["recovered"] == 0 {
+		t.Error("no trial recovered; the sweep never exercised rollback")
+	}
+	for _, iv := range []string{"i256", "i512", "i1024"} {
+		if sum["coverage."+iv] <= 0 {
+			t.Errorf("coverage.%s = %.3f; campaigns detected nothing", iv, sum["coverage."+iv])
+		}
+	}
+}
+
+// TestFigAdaptiveShape: θ = 0 is bit-identical to SRT (everything
+// protected, no SDC) and raising θ can only shrink the protected fraction.
+func TestFigAdaptiveShape(t *testing.T) {
+	_, sum, err := FigAdaptive(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum["protected.t00"] != 1 {
+		t.Errorf("protected.t00 = %.3f, want 1 (theta 0 protects everything)", sum["protected.t00"])
+	}
+	if sum["sdc.t00"] != 0 {
+		t.Errorf("sdc.t00 = %v; full protection cannot leak silent corruption", sum["sdc.t00"])
+	}
+	tags := []string{"t00", "t25", "t50", "t75", "t95"}
+	for i := 1; i < len(tags); i++ {
+		if sum["protected."+tags[i]] > sum["protected."+tags[i-1]] {
+			t.Errorf("protected fraction rose from %s (%.3f) to %s (%.3f); theta can only narrow the sphere",
+				tags[i-1], sum["protected."+tags[i-1]], tags[i], sum["protected."+tags[i]])
+		}
+	}
+}
+
 // TestCoverageShape: campaigns classify every trial and detect real faults.
 func TestCoverageShape(t *testing.T) {
 	_, sum, err := Coverage(quick())

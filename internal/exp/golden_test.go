@@ -23,6 +23,13 @@ func goldenParams() Params {
 	return Params{Budget: 1200, Warmup: 600, Config: pipeline.DefaultConfig()}
 }
 
+// goldenCampaignParams sizes the campaign-bearing goldens (recovery,
+// adaptive). Campaigns run at half the stated budget, so these land each
+// trial on the 2500/800 sizes the fault batteries prove recovery at.
+func goldenCampaignParams() Params {
+	return Params{Budget: 5000, Warmup: 1600, CampaignRuns: 6, Config: pipeline.DefaultConfig()}
+}
+
 // render produces the canonical golden text: the table followed by the
 // summary map in sorted key order.
 func render(tbl *stats.Table, summary map[string]float64) string {
@@ -81,17 +88,20 @@ func TestGoldenFigures(t *testing.T) {
 	}
 	figs := []struct {
 		id  string
+		p   Params
 		run func(Params) (*stats.Table, map[string]float64, error)
 	}{
-		{"fig6", Fig6},
-		{"fig7", Fig7},
-		{"fig8", Fig8},
+		{"fig6", goldenParams(), Fig6},
+		{"fig7", goldenParams(), Fig7},
+		{"fig8", goldenParams(), Fig8},
+		{"recovery", goldenCampaignParams(), FigRecovery},
+		{"adaptive", goldenCampaignParams(), FigAdaptive},
 	}
 	for _, fig := range figs {
 		fig := fig
 		t.Run(fig.id, func(t *testing.T) {
 			t.Parallel()
-			tbl, summary, err := fig.run(goldenParams())
+			tbl, summary, err := fig.run(fig.p)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -102,6 +102,20 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 			return tbl.String(), nil
 		}},
+		{"recovery", func(p Params) (string, error) {
+			tbl, _, err := FigRecovery(p)
+			if err != nil {
+				return "", err
+			}
+			return tbl.String(), nil
+		}},
+		{"adaptive", func(p Params) (string, error) {
+			tbl, _, err := FigAdaptive(p)
+			if err != nil {
+				return "", err
+			}
+			return tbl.String(), nil
+		}},
 	}
 	for _, e := range experiments {
 		serial := tiny

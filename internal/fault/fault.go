@@ -120,6 +120,15 @@ const (
 	Masked
 	// NotFired: the run ended before the injection point was reached.
 	NotFired
+	// Recovered (SRTR only): the machine detected the corruption, rolled
+	// back to a validated checkpoint, and re-executed to a final
+	// architectural state byte-identical to the fault-free run.
+	Recovered
+	// UnprotectedSDC (adaptive only): the fault fired in an unprotected
+	// region, was never detected, and the final architectural state
+	// diverges from the fault-free run — silent data corruption, the
+	// coverage cost of partial redundancy.
+	UnprotectedSDC
 )
 
 func (o Outcome) String() string {
@@ -130,6 +139,10 @@ func (o Outcome) String() string {
 		return "masked"
 	case NotFired:
 		return "not-fired"
+	case Recovered:
+		return "recovered"
+	case UnprotectedSDC:
+		return "unprotected-sdc"
 	}
 	return "outcome?"
 }
@@ -144,6 +157,11 @@ type Result struct {
 	// Cycles is the total number of cycles the trial simulated, whatever
 	// the outcome — the campaign's unit of simulation work.
 	Cycles uint64
+	// Recoveries and RecoveryCycles account SRTR rollbacks (Recovered
+	// only): how many the trial performed and the total cycles re-executed.
+	// Scalars, so Result stays comparable (the engines diff results with ==).
+	Recoveries     int
+	RecoveryCycles uint64
 }
 
 // CampaignSummary aggregates a campaign.
@@ -152,23 +170,34 @@ type CampaignSummary struct {
 	Detected int
 	Masked   int
 	NotFired int
+	// Recovered counts SRTR trials that rolled back and re-executed to the
+	// fault-free state.
+	Recovered int
+	// UnprotectedSDC counts adaptive trials whose undetected corruption
+	// reached final architectural state.
+	UnprotectedSDC int
 	// MeanDetectionCycles averages detection latency over detected runs.
 	MeanDetectionCycles float64
+	// MeanRecoveryCycles averages the cycles re-executed per rollback over
+	// recovered runs (the SRTR recovery-latency figure of merit).
+	MeanRecoveryCycles float64
 	// TotalCycles sums the simulated cycles of every trial: the campaign's
 	// total simulation work, used to express throughput as cycles/second.
 	TotalCycles uint64
 	Results     []Result
 }
 
-// Coverage returns detected / (detected + masked-that-mattered)… for RMT the
-// meaningful ratio is detected / fired-and-unmasked; since every unmasked
-// fault is detected at the output boundary, we report detected/fired.
+// Coverage returns the fraction of fired faults the machine handled —
+// detected at the sphere boundary or detected-and-recovered — over all
+// fired faults. Masked counts in the denominator (a masked fault was
+// handled by luck, not the mechanism, but is also benign); UnprotectedSDC
+// is the outcome coverage loses to.
 func (s *CampaignSummary) Coverage() float64 {
-	fired := s.Detected + s.Masked
+	fired := s.Detected + s.Recovered + s.Masked + s.UnprotectedSDC
 	if fired == 0 {
 		return 0
 	}
-	return float64(s.Detected) / float64(fired)
+	return float64(s.Detected+s.Recovered) / float64(fired)
 }
 
 // rng is a small deterministic xorshift generator so campaigns are exactly
@@ -281,7 +310,7 @@ const replayChunkSize = 8
 // order — is identical at any parallelism, and byte-identical to
 // CampaignLegacy's.
 func CampaignParallel(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (*CampaignSummary, error) {
-	if spec.Mode != sim.ModeSRT && spec.Mode != sim.ModeCRT {
+	if !CampaignMode(spec.Mode) {
 		return nil, fmt.Errorf("fault: campaign requires an RMT mode, got %v", spec.Mode)
 	}
 	spec.StopOnDetection = true
@@ -378,7 +407,7 @@ func chunkByCheckpoint(replays []int, prep *forkPrep) [][]int {
 	byBase := make(map[uint64][]int)
 	var bases []uint64
 	for _, i := range replays {
-		base := prep.fireIter[i] - prep.fireIter[i]%checkpointInterval
+		base := prep.restoreBase(i)
 		if byBase[base] == nil {
 			bases = append(bases, base)
 		}
@@ -405,10 +434,14 @@ func chunkByCheckpoint(replays []int, prep *forkPrep) [][]int {
 // the equivalence baseline for the fork-on-fault engine (the two must
 // produce byte-identical summaries) and for benchmarking the speedup.
 func CampaignLegacy(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (*CampaignSummary, error) {
-	if spec.Mode != sim.ModeSRT && spec.Mode != sim.ModeCRT {
+	if !CampaignMode(spec.Mode) {
 		return nil, fmt.Errorf("fault: campaign requires an RMT mode, got %v", spec.Mode)
 	}
 	spec.StopOnDetection = true
+	golden, err := goldenDigest(spec)
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run: %w", err)
+	}
 	faults := Plan(spec, n, seed)
 	jobs := make([]func() (Result, error), n)
 	for i := range faults {
@@ -419,7 +452,7 @@ func CampaignLegacy(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (*C
 					return Result{}, err
 				}
 			}
-			res, err := RunOne(spec, f)
+			res, err := runOneWith(spec, f, golden)
 			if err != nil {
 				return Result{}, fmt.Errorf("fault: trial %d (%v): %w", i, f, err)
 			}
@@ -436,11 +469,24 @@ func CampaignLegacy(spec sim.Spec, n int, seed uint64, opts CampaignOptions) (*C
 	return summarize(n, results), nil
 }
 
+// CampaignMode reports whether the mode supports injection campaigns: it
+// needs a redundant pair to strike and a detection (or, for adaptive, an
+// architectural-digest) boundary to classify against. The serving layer's
+// campaign gate and the mode round-trip battery key off this predicate so
+// the engine stays the single source of truth.
+func CampaignMode(m sim.Mode) bool {
+	switch m {
+	case sim.ModeSRT, sim.ModeCRT, sim.ModeSRTR, sim.ModeAdaptive:
+		return true
+	}
+	return false
+}
+
 // summarize aggregates per-trial results into the campaign summary; shared
 // by both engines so aggregation can never diverge between them.
 func summarize(n int, results []Result) *CampaignSummary {
 	sum := &CampaignSummary{Runs: n, Results: results}
-	var totalLatency uint64
+	var totalLatency, totalRecovery uint64
 	for _, res := range results {
 		sum.TotalCycles += res.Cycles
 		switch res.Outcome {
@@ -451,10 +497,18 @@ func summarize(n int, results []Result) *CampaignSummary {
 			sum.Masked++
 		case NotFired:
 			sum.NotFired++
+		case Recovered:
+			sum.Recovered++
+			totalRecovery += res.RecoveryCycles
+		case UnprotectedSDC:
+			sum.UnprotectedSDC++
 		}
 	}
 	if sum.Detected > 0 {
 		sum.MeanDetectionCycles = float64(totalLatency) / float64(sum.Detected)
+	}
+	if sum.Recovered > 0 {
+		sum.MeanRecoveryCycles = float64(totalRecovery) / float64(sum.Recovered)
 	}
 	return sum
 }
@@ -482,8 +536,14 @@ func summarize(n int, results []Result) *CampaignSummary {
 // detection latency — exactly the Result returned here. That equivalence
 // is what keeps pruned summaries byte-identical, and is machine-checked by
 // ValidateStaticMasking (the cross-validation gate).
+//
+// SRTR never prunes: its register value queue cross-checks every retired
+// destination value, so a flip the ACE analysis proves architecturally
+// masked is still detected microarchitecturally and recovered — the static
+// Masked classification would be wrong.
 func planPruning(spec sim.Spec, faults []Transient, prep *forkPrep, opts CampaignOptions) ([]*Result, error) {
-	if !opts.PruneStaticallyMasked && !opts.ValidateStaticMasking {
+	if spec.Mode == sim.ModeSRTR ||
+		(!opts.PruneStaticallyMasked && !opts.ValidateStaticMasking) {
 		if opts.PruneStats != nil {
 			*opts.PruneStats = PruneStats{Planned: len(faults)}
 		}
@@ -564,6 +624,15 @@ const checkpointInterval = 1024
 // the snapshot-encode cost of trials that genuinely diverge.
 const convergenceChecks = 2
 
+// srtrReplayHistory is how many extra checkpoint intervals of golden
+// snapshot history an SRTR replay keeps (and restores) below each fire's
+// checkpoint base. Two intervals comfortably cover the checkpoint
+// validation lag (bounded by the pair's slack: RVQ/LPQ depth worth of
+// commits plus store-comparator drain), so by the time the fault fires the
+// replayed machine has re-validated a rollback target at the same cycle the
+// from-scratch (legacy) run holds as its newest validated checkpoint.
+const srtrReplayHistory = 2
+
 // errConverged aborts a replay whose state has become byte-identical to the
 // golden run: the rest of the trial is provably the golden suffix, so its
 // outcome is known without simulating it.
@@ -583,14 +652,40 @@ type forkPrep struct {
 	endCycle     uint64 // Cores[0].Cycle() at golden completion
 	detections   int    // golden detections (0 in a healthy machine)
 	haltDiverged []bool // per logical: lead/trail halt states diverged
+
+	// history widens the replay window below each fire's checkpoint base
+	// (SRTR only, 0 otherwise): a restored SRTR machine must re-validate
+	// its entry checkpoint before it can roll back to it, so the replay
+	// starts early enough that validation completes — and the machine holds
+	// the same newest-validated rollback target a from-scratch run would —
+	// before the fault fires.
+	history uint64
+	// golden, when non-nil (adaptive only), is the fault-free run's final
+	// architectural digest, the reference undetected trials are classified
+	// against (Masked vs UnprotectedSDC).
+	golden *[32]byte
 }
 
-// checkpointFor returns the snapshot a fired trial replays from: the last
-// checkpoint at or before its fire iteration. The golden run reached the
-// fire iteration, so every earlier checkpoint boundary was crossed and the
-// lookup cannot miss.
+// restoreBase returns the checkpoint iteration a fired trial replays from:
+// the last checkpoint at or before its fire iteration, walked down by up to
+// history cycles of retained earlier checkpoints (see forkPrep.history).
+// The golden run reached the fire iteration, so every checkpoint boundary
+// in the window was crossed and the lookups cannot miss.
+func (p *forkPrep) restoreBase(i int) uint64 {
+	base := p.fireIter[i] - p.fireIter[i]%checkpointInterval
+	lo := uint64(0)
+	if base > p.history {
+		lo = base - p.history
+	}
+	for base > lo && p.snaps[base-checkpointInterval] != nil {
+		base -= checkpointInterval
+	}
+	return base
+}
+
+// checkpointFor returns the snapshot trial i replays from.
 func (p *forkPrep) checkpointFor(i int) []byte {
-	return p.snaps[p.fireIter[i]-p.fireIter[i]%checkpointInterval]
+	return p.snaps[p.restoreBase(i)]
 }
 
 // classifyUnfired reproduces the legacy engine's classification for a trial
@@ -624,6 +719,9 @@ func forkPrepare(spec sim.Spec, faults []Transient) (*forkPrep, error) {
 		fireIter: make([]uint64, len(faults)),
 		firePC:   make([]uint64, len(faults)),
 		snaps:    make(map[uint64][]byte),
+	}
+	if spec.Mode == sim.ModeSRTR {
+		p.history = srtrReplayHistory * checkpointInterval
 	}
 	g, err := sim.Build(spec)
 	if err != nil {
@@ -702,8 +800,13 @@ func forkPrepare(spec sim.Spec, faults []Transient) (*forkPrep, error) {
 			p.haltDiverged[i] = g.Leads[i].Arch.Halted != tr.Arch.Halted
 		}
 	}
+	if spec.Mode == sim.ModeAdaptive {
+		d := g.ArchDigest()
+		p.golden = &d
+	}
 	// Checkpoints before the earliest replay base serve neither as restore
-	// points nor as convergence references; drop them. Everything later
+	// points nor as convergence references; drop them (for SRTR the window
+	// extends history cycles lower — see restoreBase). Everything later
 	// stays: a trial may replay from it, or compare against it to prove it
 	// has rejoined the golden run.
 	minBase, anyFired := ^uint64(0), false
@@ -719,8 +822,12 @@ func forkPrepare(spec sim.Spec, faults []Transient) (*forkPrep, error) {
 			anyFired = true
 		}
 	}
+	keepFrom := uint64(0)
+	if minBase > p.history {
+		keepFrom = minBase - p.history
+	}
 	for cycle := range p.snaps {
-		if !anyFired || cycle < minBase {
+		if !anyFired || cycle < keepFrom {
 			delete(p.snaps, cycle)
 		}
 	}
@@ -794,9 +901,17 @@ func (p *forkPrep) replay(spec sim.Spec, f Transient, i int) (Result, error) {
 			return nil
 		}
 	}
-	res, err := runArmed(m, f)
+	res, err := runArmed(m, f, p.golden)
 	if errors.Is(err, errConverged) {
+		// Byte-identical to the golden run from here on: the rest of the
+		// trial is provably the golden suffix. If the machine rolled back
+		// to get there, the convergence is the proof of recovery.
 		res = Result{Fault: f, Outcome: Masked, Cycles: p.endCycle}
+		if m.Recoveries > 0 {
+			res.Outcome = Recovered
+			res.Recoveries = m.Recoveries
+			res.RecoveryCycles = m.RecoveryCycles
+		}
 		err = nil
 	}
 	if err != nil {
@@ -834,19 +949,50 @@ func convergedWithGolden(m *sim.Machine, f Transient, gsnap []byte) (bool, error
 }
 
 // RunOne builds a machine for spec, injects the single fault, runs to
-// detection or completion, and classifies the outcome.
+// detection or completion, and classifies the outcome. For adaptive specs
+// it first simulates the fault-free run to obtain the architectural
+// reference digest; campaigns amortise that golden run across trials.
 func RunOne(spec sim.Spec, f Transient) (Result, error) {
+	golden, err := goldenDigest(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return runOneWith(spec, f, golden)
+}
+
+// goldenDigest returns the fault-free run's final architectural digest for
+// adaptive specs, and nil for every other mode (they classify entirely at
+// the detection boundary).
+func goldenDigest(spec sim.Spec) (*[32]byte, error) {
+	if spec.Mode != sim.ModeAdaptive {
+		return nil, nil
+	}
+	g, err := sim.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(); err != nil {
+		return nil, err
+	}
+	d := g.ArchDigest()
+	return &d, nil
+}
+
+// runOneWith is RunOne with the golden digest supplied by the caller.
+func runOneWith(spec sim.Spec, f Transient, golden *[32]byte) (Result, error) {
 	spec.StopOnDetection = true
 	m, err := sim.Build(spec)
 	if err != nil {
 		return Result{}, err
 	}
-	return runArmed(m, f)
+	return runArmed(m, f, golden)
 }
 
 // runArmed arms f on a ready machine (fresh or restored), runs to detection
-// or completion, and classifies the outcome.
-func runArmed(m *sim.Machine, f Transient) (Result, error) {
+// or completion, and classifies the outcome. golden, when non-nil, is the
+// fault-free architectural digest undetected adaptive trials are compared
+// against.
+func runArmed(m *sim.Machine, f Transient, golden *[32]byte) (Result, error) {
 	fired, err := f.Arm(m)
 	if err != nil {
 		return Result{}, err
@@ -894,6 +1040,8 @@ func runArmed(m *sim.Machine, f Transient) (Result, error) {
 	res := Result{Fault: f, Cycles: m.Cores[0].Cycle()}
 	switch {
 	case len(m.Detections()) > 0 || haltDivergence:
+		// Standing detections: either a non-recovering mode, or SRTR out
+		// of rollback targets/recovery budget.
 		res.Outcome = Detected
 		end := m.Cores[0].Cycle()
 		if end > fireCycle {
@@ -901,6 +1049,14 @@ func runArmed(m *sim.Machine, f Transient) (Result, error) {
 		}
 	case !fired():
 		res.Outcome = NotFired
+	case m.Recoveries > 0:
+		// SRTR rolled back past the corruption and re-executed the golden
+		// suffix (the transient is one-shot, so it cannot re-fire).
+		res.Outcome = Recovered
+		res.Recoveries = m.Recoveries
+		res.RecoveryCycles = m.RecoveryCycles
+	case golden != nil && m.ArchDigest() != *golden:
+		res.Outcome = UnprotectedSDC
 	default:
 		res.Outcome = Masked
 	}

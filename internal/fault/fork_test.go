@@ -19,6 +19,11 @@ func TestForkMatchesLegacy(t *testing.T) {
 		s.Budget, s.Warmup = 3000, 1000
 		return s
 	}
+	adaptive := func(progs ...string) sim.Spec {
+		s := small(sim.ModeAdaptive, progs...)
+		s.AdaptiveThreshold = 0.5
+		return s
+	}
 	cases := []struct {
 		name string
 		spec sim.Spec
@@ -28,6 +33,10 @@ func TestForkMatchesLegacy(t *testing.T) {
 		{"srt one program", small(sim.ModeSRT, "compress"), 6, 0xA11CE},
 		{"srt two programs", small(sim.ModeSRT, "gcc", "swim"), 6, 42},
 		{"crt two programs", small(sim.ModeCRT, "gcc", "swim"), 6, 0xBEEF},
+		{"srtr one program", small(sim.ModeSRTR, "compress"), 6, 0xA11CE},
+		{"srtr two programs", small(sim.ModeSRTR, "gcc", "swim"), 6, 42},
+		{"adaptive one program", adaptive("compress"), 6, 0xA11CE},
+		{"adaptive two programs", adaptive("gcc", "swim"), 6, 42},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -43,7 +52,10 @@ func TestForkMatchesLegacy(t *testing.T) {
 				}
 				if fork.Runs != legacy.Runs || fork.Detected != legacy.Detected ||
 					fork.Masked != legacy.Masked || fork.NotFired != legacy.NotFired ||
+					fork.Recovered != legacy.Recovered ||
+					fork.UnprotectedSDC != legacy.UnprotectedSDC ||
 					fork.MeanDetectionCycles != legacy.MeanDetectionCycles ||
+					fork.MeanRecoveryCycles != legacy.MeanRecoveryCycles ||
 					fork.TotalCycles != legacy.TotalCycles {
 					t.Fatalf("workers=%d summary differs:\nfork:   %+v\nlegacy: %+v", workers, fork, legacy)
 				}

@@ -126,6 +126,12 @@ type Config struct {
 	LVQSize int
 	LPQSize int
 
+	// RVQSize sizes the SRTR register value queue (entries). Only the
+	// SRTR organisation builds an RVQ; a full RVQ stalls leading-thread
+	// retirement, so it bounds the pair's lead-ahead in retired
+	// register-writing instructions.
+	RVQSize int
+
 	// NoStoreComparison disables output comparison of stores (the paper's
 	// "SRT + nosc" configuration in Figure 6): leading stores drain at
 	// retirement as on the base machine. Input replication still happens.
@@ -207,6 +213,7 @@ func DefaultConfig() Config {
 
 		LVQSize: 64,
 		LPQSize: 32,
+		RVQSize: 256,
 
 		Hier: mem.DefaultHierarchyConfig(),
 

@@ -187,7 +187,11 @@ func (co *Core) dispatchMem(ctx *Context, d *dynInst) {
 		}
 		// Uncached loads are replicated functionally through the I/O
 		// bridge, not the LVQ, so they carry no load correlation tag.
-		if !d.out.Instr.IsUncached() {
+		// Under adaptive redundancy, loads outside the sphere of
+		// replication are likewise untagged: both copies consult the same
+		// static protection table, so tag sequences stay dense and
+		// identical across the pair.
+		if !d.out.Instr.IsUncached() && (pair == nil || pair.ProtectedPC(d.out.PC)) {
 			switch ctx.Role {
 			case RoleLeading:
 				d.loadTag = pair.NextLeadLoadTag()
@@ -199,11 +203,13 @@ func (co *Core) dispatchMem(ctx *Context, d *dynInst) {
 	} else {
 		ctx.sqUsed++
 		d.sqEntered = co.cycle
-		switch ctx.Role {
-		case RoleLeading:
-			d.storeTag = pair.NextLeadStoreTag()
-		case RoleTrailing:
-			d.storeTag = pair.NextTrailStoreTag()
+		if pair == nil || pair.ProtectedPC(d.out.PC) {
+			switch ctx.Role {
+			case RoleLeading:
+				d.storeTag = pair.NextLeadStoreTag()
+			case RoleTrailing:
+				d.storeTag = pair.NextTrailStoreTag()
+			}
 		}
 		ctx.Stats.Stores.Inc()
 	}

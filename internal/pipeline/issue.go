@@ -118,6 +118,11 @@ func (co *Core) memReady(ctx *Context, d *dynInst) bool {
 		return true
 	}
 	if ctx.Role == RoleTrailing {
+		if d.loadTag == 0 {
+			// Unprotected load of a gated pair: no LVQ entry to wait for;
+			// it reads the cache like a leading load.
+			return true
+		}
 		// Trailing loads read the load value queue; if the entry has not
 		// been forwarded yet the load retries (out-of-order trailing issue
 		// is allowed by the tag-associative LVQ, §4.1).
@@ -169,7 +174,7 @@ func (co *Core) execute(ctx *Context, d *dynInst) {
 				d.doneCycle = dataAt
 			}
 		}
-		if ctx.Role == RoleTrailing && !co.cfg.NoStoreComparison {
+		if ctx.Role == RoleTrailing && !co.cfg.NoStoreComparison && d.storeTag != 0 {
 			ctx.Pair.Cmp.AddTrailing(rmt.StoreRecord{
 				Tag:     d.storeTag,
 				Addr:    d.out.Addr,
@@ -209,7 +214,7 @@ func (co *Core) executeLoad(ctx *Context, d *dynInst, base uint64) uint64 {
 		// replicated (trailing) by the functional oracle.
 		return base + co.cfg.IOLatency
 	}
-	if ctx.Role == RoleTrailing {
+	if ctx.Role == RoleTrailing && d.loadTag != 0 {
 		e, ok := ctx.Pair.LVQ.Lookup(d.loadTag, co.cycle)
 		if ok && e.Addr != d.out.Addr {
 			// Address mismatch at the LVQ: a detected fault (§2.1 — the

@@ -61,7 +61,9 @@ func (co *Core) retireOne(ctx *Context) bool {
 	}
 
 	if ctx.Role == RoleLeading {
-		if d.isLoad() && pair.LVQ.Full() {
+		// Unprotected (untagged) loads of a gated pair bypass the LVQ and
+		// cannot stall on it; everything else keeps the SRT stall exactly.
+		if d.isLoad() && pair.LVQ.Full() && (d.loadTag != 0 || !pair.Gated()) {
 			pair.LVQ.FullStalls.Inc()
 			return false
 		}
@@ -69,6 +71,18 @@ func (co *Core) retireOne(ctx *Context) bool {
 			pair.LPQ.FullStalls.Inc()
 			return false
 		}
+		if pair.RVQ != nil && d.out.Instr.HasDest() && !d.out.Instr.IsStore() && pair.RVQ.Full() {
+			pair.RVQ.FullStalls.Inc()
+			return false
+		}
+	}
+	if ctx.Role == RoleTrailing && pair.RVQ != nil &&
+		d.out.Instr.HasDest() && !d.out.Instr.IsStore() &&
+		pair.RVQ.Front(co.cycle) == nil {
+		// SRTR: the trailing copy may not commit a register result before
+		// checking it against the leading copy's RVQ entry.
+		pair.RVQ.Waits.Inc()
+		return false
 	}
 
 	// Commit.
@@ -114,9 +128,18 @@ func (co *Core) retireOne(ctx *Context) bool {
 				ReadyAt: co.cycle + pair.Lat.LVQForward,
 			})
 			ctx.lqUsed--
+		} else if d.isLoad() && !d.out.Instr.IsUncached() {
+			// Unprotected load of a gated pair: it occupied a load-queue
+			// slot but bypasses the LVQ, so free the slot here.
+			ctx.lqUsed--
+		}
+		if pair.RVQ != nil && d.out.Instr.HasDest() && !d.out.Instr.IsStore() {
+			pair.RVQ.Push(d.out.PC, d.out.DestVal, co.cycle+pair.Lat.LVQForward)
 		}
 		if d.isStore() {
-			if co.cfg.NoStoreComparison {
+			if co.cfg.NoStoreComparison || d.storeTag == 0 {
+				// Untagged stores of a gated pair skip the comparator and
+				// drain like uncompared stores.
 				ctx.retiredStores.Push(d)
 			} else {
 				pair.Cmp.AddLeading(rmt.StoreRecord{
@@ -126,6 +149,7 @@ func (co *Core) retireOne(ctx *Context) bool {
 					Value:   d.out.Value,
 					ReadyAt: co.cycle,
 				})
+				pair.LeadStoresRetired++
 				ctx.retiredStores.Push(d)
 			}
 		}
@@ -137,6 +161,20 @@ func (co *Core) retireOne(ctx *Context) bool {
 	case RoleTrailing:
 		if d.isLoad() {
 			// LVQ entry was consumed at issue; no load queue entry.
+		}
+		if pair.RVQ != nil && d.out.Instr.HasDest() && !d.out.Instr.IsStore() {
+			// SRTR register value check: the trailing result must match
+			// the leading copy's committed result instruction-for-
+			// instruction (the pre-commit wait above guarantees an entry).
+			e := pair.RVQ.Front(co.cycle)
+			if e.PC != d.out.PC || e.Val != d.out.DestVal {
+				pair.RVQ.Mismatches.Inc()
+				pair.Detected = append(pair.Detected, &rmt.Mismatch{
+					LeadAddr: e.PC, TrailAddr: d.out.PC,
+					LeadValue: e.Val, TrailValue: d.out.DestVal,
+				})
+			}
+			pair.RVQ.Pop()
 		}
 		if d.isStore() {
 			ctx.trailRetiredStores.Push(d)
@@ -257,17 +295,25 @@ func (co *Core) drainLeading(ctx *Context) {
 	for n := 0; n < co.cfg.StoreDrainPerCycle && !ctx.retiredStores.Empty(); n++ {
 		d := ctx.retiredStores.Front()
 		if !d.verified {
-			when, mismatch, done := pair.Cmp.Verify(d.storeTag, co.cycle)
-			if !done {
-				return // trailing copy not yet arrived
-			}
-			d.verified = true
-			co.emitCompare(ctx, d, co.cycle, mismatch != nil)
-			if mismatch != nil {
-				pair.Detected = append(pair.Detected, mismatch)
-				d.verifiedAt = co.cycle
+			if d.storeTag == 0 {
+				// Untagged store of a gated pair: nothing to compare
+				// against; it leaves the sphere unverified by design.
+				d.verified = true
+				d.verifiedAt = d.retireCycle
 			} else {
-				d.verifiedAt = when
+				when, mismatch, done := pair.Cmp.Verify(d.storeTag, co.cycle)
+				if !done {
+					return // trailing copy not yet arrived
+				}
+				d.verified = true
+				pair.StoresVerified++
+				co.emitCompare(ctx, d, co.cycle, mismatch != nil)
+				if mismatch != nil {
+					pair.Detected = append(pair.Detected, mismatch)
+					d.verifiedAt = co.cycle
+				} else {
+					d.verifiedAt = when
+				}
 			}
 		}
 		if d.verifiedAt > co.cycle {
@@ -295,7 +341,9 @@ func (co *Core) drainTrailing(ctx *Context) {
 	pair := ctx.Pair
 	for !ctx.trailRetiredStores.Empty() {
 		d := ctx.trailRetiredStores.Front()
-		if !co.cfg.NoStoreComparison && pair.Cmp.HasTrailing(d.storeTag) {
+		// Tag 0 is "not compared" (gated pair): HasTrailing(0) would match
+		// a FREE comparator slot and block the drain forever.
+		if !co.cfg.NoStoreComparison && d.storeTag != 0 && pair.Cmp.HasTrailing(d.storeTag) {
 			return // not yet compared
 		}
 		co.releaseStore(ctx, d)

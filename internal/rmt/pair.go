@@ -85,6 +85,27 @@ type Pair struct {
 	// Detected accumulates fault-detection events (store mismatches, LVQ
 	// address mismatches).
 	Detected []*Mismatch
+
+	// RVQ, when non-nil, is the SRTR register value queue: every retired
+	// leading-copy destination result is checked against the trailing
+	// copy's before either commits past a checkpoint boundary. Nil in all
+	// non-SRTR modes.
+	RVQ *RVQ
+
+	// Protect, when non-nil, is the adaptive-redundancy protection table:
+	// Protect[pc] reports whether the instruction at pc runs inside the
+	// sphere of replication (tagged, replicated, compared). Instructions
+	// outside run untagged: no LVQ/comparator traffic, no detection. Built
+	// once from the static vulnerability profile, so both copies always
+	// agree — tag sequences stay dense and identical.
+	Protect []bool //rmtsnap:skip — static policy table fixed at construction
+
+	// LeadStoresRetired counts leading-copy stores handed to the
+	// comparator; StoresVerified counts those the trailing copy has since
+	// matched. Their difference bounds the unverified-store window that
+	// SRTR checkpoint validation must wait out.
+	LeadStoresRetired uint64
+	StoresVerified    uint64
 }
 
 // NewPair builds the queues for one redundant pair. lvqSize and lpqSize are
@@ -157,6 +178,21 @@ func (p *Pair) SameFUFrac() float64 {
 		return 0
 	}
 	return float64(p.SameFU) / float64(p.PairsObserved)
+}
+
+// Gated reports whether the pair runs with an adaptive protection table
+// (some instructions outside the sphere of replication).
+func (p *Pair) Gated() bool { return p.Protect != nil }
+
+// ProtectedPC reports whether the instruction at pc is inside the sphere
+// of replication. Without a protection table everything is protected;
+// out-of-range pcs (trap handlers, tolerant out-of-image fetches) stay
+// protected so the gate only ever narrows coverage at analysed sites.
+func (p *Pair) ProtectedPC(pc uint64) bool {
+	if p.Protect == nil || pc >= uint64(len(p.Protect)) {
+		return true
+	}
+	return p.Protect[pc]
 }
 
 // DebugCounters returns the four correlation-tag counters (diagnostics).

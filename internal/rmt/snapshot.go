@@ -215,10 +215,15 @@ func (p *Pair) SnapshotTo(w *snap.Writer) {
 		w.U64(m.LeadValue)
 		w.U64(m.TrailValue)
 	}
+	w.U64(p.LeadStoresRetired)
+	w.U64(p.StoresVerified)
 	p.LVQ.SnapshotTo(w)
 	p.LPQ.SnapshotTo(w)
 	p.Agg.SnapshotTo(w)
 	p.Cmp.SnapshotTo(w)
+	if p.RVQ != nil {
+		p.RVQ.SnapshotTo(w)
+	}
 }
 
 // RestoreFrom reads state written by SnapshotTo into an identically
@@ -247,8 +252,13 @@ func (p *Pair) RestoreFrom(r *snap.Reader) {
 			LeadValue: r.U64(), TrailValue: r.U64(),
 		})
 	}
+	p.LeadStoresRetired = r.U64()
+	p.StoresVerified = r.U64()
 	p.LVQ.RestoreFrom(r)
 	p.LPQ.RestoreFrom(r)
 	p.Agg.RestoreFrom(r)
 	p.Cmp.RestoreFrom(r)
+	if p.RVQ != nil {
+		p.RVQ.RestoreFrom(r)
+	}
 }

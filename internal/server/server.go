@@ -376,20 +376,24 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	simMode := sim.ModeSRT
-	if mode == rmt.CRT {
-		simMode = sim.ModeCRT
+	simMode, err := campaignSimMode(mode)
+	if err != nil {
+		s.campaign.errors.Add(1)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	s.serveCached(w, r, &s.campaign, key, func() ([]byte, error) {
 		spec := sim.Spec{
-			Mode:              simMode,
-			Programs:          req.Programs,
-			Budget:            req.Budget,
-			Warmup:            req.Warmup,
-			Config:            pipeline.DefaultConfig(),
-			PSR:               req.PSR,
-			PerThreadSQ:       req.PerThreadSQ,
-			NoStoreComparison: req.NoStoreComparison,
+			Mode:               simMode,
+			Programs:           req.Programs,
+			Budget:             req.Budget,
+			Warmup:             req.Warmup,
+			Config:             pipeline.DefaultConfig(),
+			PSR:                req.PSR,
+			PerThreadSQ:        req.PerThreadSQ,
+			NoStoreComparison:  req.NoStoreComparison,
+			AdaptiveThreshold:  req.AdaptiveThreshold,
+			CheckpointInterval: req.CheckpointInterval,
 		}
 		sum, err := fault.CampaignParallel(spec, req.N, req.Seed,
 			fault.CampaignOptions{Parallelism: s.cfg.SimParallelism})
@@ -401,8 +405,11 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			Detected:            sum.Detected,
 			Masked:              sum.Masked,
 			NotFired:            sum.NotFired,
+			Recovered:           sum.Recovered,
+			UnprotectedSDC:      sum.UnprotectedSDC,
 			Coverage:            sum.Coverage(),
 			MeanDetectionCycles: sum.MeanDetectionCycles,
+			MeanRecoveryCycles:  sum.MeanRecoveryCycles,
 			TotalCycles:         sum.TotalCycles,
 			Outcomes:            make([]string, 0, len(sum.Results)),
 		}
@@ -411,6 +418,24 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		}
 		return encodeJSON(resp), nil
 	})
+}
+
+// campaignSimMode resolves a campaign-capable facade mode to the engine
+// mode handleCampaign builds. Kept as a function (not inline) so the mode
+// round-trip battery can assert the server resolves every campaign mode
+// the wire contract accepts.
+func campaignSimMode(mode rmt.Mode) (sim.Mode, error) {
+	switch mode {
+	case rmt.SRT:
+		return sim.ModeSRT, nil
+	case rmt.CRT:
+		return sim.ModeCRT, nil
+	case rmt.SRTR:
+		return sim.ModeSRTR, nil
+	case rmt.Adaptive:
+		return sim.ModeAdaptive, nil
+	}
+	return 0, fmt.Errorf("campaign mode %s has no engine mapping", mode)
 }
 
 func statusFor(err error) int {

@@ -32,12 +32,14 @@ const maxBodyBytes = 1 << 20
 // with the mode spelled by name, plus the sizing that rmt passes as
 // options (0 = server default, resolved during canonicalisation).
 type SpecWire struct {
-	Mode              string   `json:"mode"`
-	Programs          []string `json:"programs"`
-	PSR               bool     `json:"psr"`
-	PerThreadSQ       bool     `json:"per_thread_sq"`
-	NoStoreComparison bool     `json:"no_store_comparison"`
-	CheckerLatency    uint64   `json:"checker_latency"`
+	Mode               string   `json:"mode"`
+	Programs           []string `json:"programs"`
+	PSR                bool     `json:"psr"`
+	PerThreadSQ        bool     `json:"per_thread_sq"`
+	NoStoreComparison  bool     `json:"no_store_comparison"`
+	CheckerLatency     uint64   `json:"checker_latency"`
+	AdaptiveThreshold  float64  `json:"adaptive_threshold"`
+	CheckpointInterval uint64   `json:"checkpoint_interval"`
 }
 
 // validate checks the spec and returns its parsed mode.
@@ -60,24 +62,33 @@ func (s *SpecWire) validate() (rmt.Mode, error) {
 // normalise rewrites the spec into its canonical form: the mode name is
 // the parsed mode's own String (so aliases or stray spellings cannot fork
 // the key) and fields the mode ignores are zeroed (CheckerLatency only
-// matters under lockstep — an SRT spec with CheckerLatency 8 is the same
-// experiment as one with 0 and must hit the same cache line).
+// matters under lockstep, AdaptiveThreshold under adaptive,
+// CheckpointInterval under srtr — an SRT spec with CheckerLatency 8 is
+// the same experiment as one with 0 and must hit the same cache line).
 func (s *SpecWire) normalise(mode rmt.Mode) {
 	s.Mode = mode.String()
 	if mode != rmt.Lockstep {
 		s.CheckerLatency = 0
+	}
+	if mode != rmt.Adaptive {
+		s.AdaptiveThreshold = 0
+	}
+	if mode != rmt.SRTR {
+		s.CheckpointInterval = 0
 	}
 }
 
 // toSpec converts the validated wire form to the facade's Spec.
 func (s *SpecWire) toSpec(mode rmt.Mode) rmt.Spec {
 	return rmt.Spec{
-		Mode:              mode,
-		Programs:          s.Programs,
-		PSR:               s.PSR,
-		PerThreadSQ:       s.PerThreadSQ,
-		NoStoreComparison: s.NoStoreComparison,
-		CheckerLatency:    s.CheckerLatency,
+		Mode:               mode,
+		Programs:           s.Programs,
+		PSR:                s.PSR,
+		PerThreadSQ:        s.PerThreadSQ,
+		NoStoreComparison:  s.NoStoreComparison,
+		CheckerLatency:     s.CheckerLatency,
+		AdaptiveThreshold:  s.AdaptiveThreshold,
+		CheckpointInterval: s.CheckpointInterval,
 	}
 }
 
@@ -110,14 +121,19 @@ type CampaignRequest struct {
 	Warmup uint64 `json:"warmup"`
 }
 
-// CampaignResponse is the body served for POST /campaign.
+// CampaignResponse is the body served for POST /campaign. The field set
+// and order mirror rmt.CampaignSummary exactly — ClientContractBody pins
+// the two encodings together.
 type CampaignResponse struct {
 	Runs                int     `json:"runs"`
 	Detected            int     `json:"detected"`
 	Masked              int     `json:"masked"`
 	NotFired            int     `json:"not_fired"`
+	Recovered           int     `json:"recovered"`
+	UnprotectedSDC      int     `json:"unprotected_sdc"`
 	Coverage            float64 `json:"coverage"`
 	MeanDetectionCycles float64 `json:"mean_detection_cycles"`
+	MeanRecoveryCycles  float64 `json:"mean_recovery_cycles"`
 	TotalCycles         uint64  `json:"total_cycles"`
 	// Outcomes lists the per-trial classification in trial order —
 	// invariant to the server's campaign parallelism.
@@ -224,8 +240,10 @@ func parseCampaign(body []byte) (CampaignRequest, rmt.Mode, string, error) {
 	if err != nil {
 		return req, 0, "", err
 	}
-	if mode != rmt.SRT && mode != rmt.CRT {
-		return req, 0, "", fmt.Errorf("campaign requires an RMT mode (srt or crt), got %s", mode)
+	switch mode {
+	case rmt.SRT, rmt.CRT, rmt.SRTR, rmt.Adaptive:
+	default:
+		return req, 0, "", fmt.Errorf("campaign requires an RMT mode (srt, crt, srtr or adaptive), got %s", mode)
 	}
 	if req.N <= 0 || req.N > maxCampaignTrials {
 		return req, 0, "", fmt.Errorf("campaign n must be in 1..%d, got %d", maxCampaignTrials, req.N)

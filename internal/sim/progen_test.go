@@ -59,6 +59,69 @@ func TestGenMetamorphicBase(t *testing.T) {
 	}
 }
 
+// TestGenMetamorphicSRTR runs half the corpus as SRTR pairs: the register
+// value queue and the segmented checkpoint/validation loop must be pure
+// timing — both copies bit-identical to the functional replay, no
+// comparator or RVQ mismatch, and zero rollbacks on a fault-free run.
+func TestGenMetamorphicSRTR(t *testing.T) {
+	for _, name := range genCorpus(32) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m := runMode(t, ModeSRTR, []string{name})
+			checkCopyAgainstReference(t, "srtr/lead/"+name, name, m.Leads[0])
+			checkCopyAgainstReference(t, "srtr/trail/"+name, name, m.Trails[0])
+			checkPairsClean(t, "srtr/"+name, m)
+			if m.Recoveries != 0 || m.RecoveryCycles != 0 {
+				t.Errorf("srtr/%s: fault-free run rolled back %d times", name, m.Recoveries)
+			}
+			if n := m.Pairs[0].RVQ.Mismatches.Value(); n != 0 {
+				t.Errorf("srtr/%s: %d RVQ mismatches in a fault-free run", name, n)
+			}
+		})
+	}
+}
+
+// TestGenMetamorphicAdaptive runs half the corpus under adaptive partial
+// redundancy at θ = 0.5: gating removes instructions from the sphere of
+// replication but never from execution, so both copies must still match
+// the functional replay exactly and nothing may fire fault-free. The
+// comparison-count floor from checkPairsClean is deliberately dropped — a
+// generated kernel may legitimately have every store outside the sphere.
+func TestGenMetamorphicAdaptive(t *testing.T) {
+	for _, name := range genCorpus(32) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, err := Build(Spec{
+				Mode: ModeAdaptive, Programs: []string{name},
+				Budget: 1500, Warmup: 500,
+				Config: pipeline.DefaultConfig(), PSR: true,
+				AdaptiveThreshold: 0.5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			checkCopyAgainstReference(t, "adaptive/lead/"+name, name, m.Leads[0])
+			checkCopyAgainstReference(t, "adaptive/trail/"+name, name, m.Trails[0])
+			for i, p := range m.Pairs {
+				if n := p.Cmp.Mismatches.Value(); n != 0 {
+					t.Errorf("adaptive/%s pair %d: %d store mismatches fault-free", name, i, n)
+				}
+				if n := p.LVQ.AddrMismatches.Value(); n != 0 {
+					t.Errorf("adaptive/%s pair %d: %d LVQ address mismatches", name, i, n)
+				}
+				if n := len(p.Detected); n != 0 {
+					t.Errorf("adaptive/%s pair %d: %d spurious detections", name, i, n)
+				}
+			}
+		})
+	}
+}
+
 // TestGenMetamorphicCRTMixes: randomized 2-pair cross-coupled CRT mixes —
 // each core runs one program's leading thread and the other's trailing
 // thread, the shape the paper's multi-program CRT figures measure.
@@ -121,18 +184,25 @@ func TestGenSnapshotByteIdentity(t *testing.T) {
 	cases := []struct {
 		name  string
 		mode  Mode
+		theta float64
 		progs []string
 	}{
-		{"srt", ModeSRT, []string{corpus[0]}},
-		{"srt two programs", ModeSRT, []string{corpus[1], corpus[2]}},
-		{"crt pair", ModeCRT, []string{corpus[3], corpus[4]}},
-		{"base", ModeBase, []string{corpus[5]}},
+		{"srt", ModeSRT, 0, []string{corpus[0]}},
+		{"srt two programs", ModeSRT, 0, []string{corpus[1], corpus[2]}},
+		{"crt pair", ModeCRT, 0, []string{corpus[3], corpus[4]}},
+		{"base", ModeBase, 0, []string{corpus[5]}},
+		// The restore point (cycle 800) is mid-checkpoint-interval: the
+		// restored SRTR machine re-enters the recovery loop off the grid
+		// and must still reproduce the uninterrupted run exactly.
+		{"srtr", ModeSRTR, 0, []string{corpus[6]}},
+		{"adaptive", ModeAdaptive, 0.5, []string{corpus[7]}},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
 			spec := snapSpec(tc.mode, tc.progs...)
+			spec.AdaptiveThreshold = tc.theta
 			ref, err := Build(spec)
 			if err != nil {
 				t.Fatal(err)
@@ -166,6 +236,49 @@ func TestGenSnapshotByteIdentity(t *testing.T) {
 			}
 		})
 	}
+}
+
+// FuzzGenModeEquivalence extends the generator fuzz contract (progen's
+// FuzzGenerate) to the recovery and partial-redundancy organisations: for
+// ANY seed, the generated kernel run under SRTR and under adaptive gating
+// must commit the same architectural digest as plain SRT, with zero
+// fault-free rollbacks. Any divergence is a mode-implementation bug and
+// the seed is its own minimized reproducer.
+func FuzzGenModeEquivalence(f *testing.F) {
+	for _, seed := range progen.CorpusSeeds(genCorpusSeed, 8) {
+		f.Add(seed)
+	}
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(1) << 63)
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		name := progen.Name(seed)
+		digest := func(mode Mode, theta float64) [32]byte {
+			m, err := Build(Spec{
+				Mode: mode, Programs: []string{name},
+				Budget: 800, Warmup: 200,
+				Config: pipeline.DefaultConfig(), PSR: true,
+				AdaptiveThreshold: theta,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if m.Recoveries != 0 {
+				t.Fatalf("%v: fault-free run rolled back %d times", mode, m.Recoveries)
+			}
+			return m.ArchDigest()
+		}
+		srt := digest(ModeSRT, 0)
+		if got := digest(ModeSRTR, 0); got != srt {
+			t.Error("SRTR architectural outcome diverges from SRT")
+		}
+		if got := digest(ModeAdaptive, 0.5); got != srt {
+			t.Error("adaptive architectural outcome diverges from SRT")
+		}
+	})
 }
 
 // TestGenEarlyHaltCompletesRun is the regression for the sim-layer

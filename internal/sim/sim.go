@@ -40,6 +40,19 @@ const (
 	// ModeCRT runs leading and trailing copies on different cores of a
 	// two-way CMP, cross-coupled for multiprogram workloads (Figure 5).
 	ModeCRT
+	// ModeSRTR extends SRT with recovery (after Vijaykumar et al.'s SRTR):
+	// every retired register result is cross-checked through a register
+	// value queue, machine state is checkpointed at a fixed cycle interval,
+	// and a checkpoint becomes a valid rollback target once the trailing
+	// copy has validated everything it captured. On detection the machine
+	// rolls back and re-executes instead of halting.
+	ModeSRTR
+	// ModeAdaptive is SRT with partial redundancy: a static per-PC
+	// protection table derived from the ACE/liveness vulnerability profile
+	// gates which instructions enter the sphere of replication. Low-
+	// vulnerability regions run untagged (no LVQ/comparator traffic — the
+	// slack this buys is the point), trading detection coverage there.
+	ModeAdaptive
 )
 
 func (m Mode) String() string {
@@ -54,8 +67,19 @@ func (m Mode) String() string {
 		return "lockstep"
 	case ModeCRT:
 		return "crt"
+	case ModeSRTR:
+		return "srtr"
+	case ModeAdaptive:
+		return "adaptive"
 	}
 	return "mode?"
+}
+
+// Modes returns every machine organisation, in declaration order. Seam
+// exhaustiveness tests (cliflags, rmtd wire contract, fault matrix) range
+// over this so a future mode cannot silently miss a layer.
+func Modes() []Mode {
+	return []Mode{ModeBase, ModeBase2, ModeSRT, ModeLockstep, ModeCRT, ModeSRTR, ModeAdaptive}
 }
 
 // Spec describes one simulation.
@@ -83,8 +107,24 @@ type Spec struct {
 	// SlackFetch enables the original-SRT slack fetch policy (ablation).
 	SlackFetch uint64
 
-	// StopOnDetection ends the run at the first detected fault.
+	// StopOnDetection ends the run at the first detected fault. In SRTR
+	// mode a detection first triggers rollback; the run only stops on a
+	// detection the machine cannot recover from.
 	StopOnDetection bool
+
+	// CheckpointInterval is the SRTR checkpoint capture period in cycles
+	// (0 = 1024, the fault engine's snapshot grid). Checkpoints are taken
+	// on absolute multiples of the interval so independently built and
+	// mid-flight-restored machines capture at identical cycles.
+	CheckpointInterval uint64
+	// MaxRecoveries bounds rollbacks per run (0 = 8); past it, detections
+	// behave as in SRT.
+	MaxRecoveries int
+	// AdaptiveThreshold is the ModeAdaptive protection cutoff θ in [0,1]:
+	// an instruction is protected iff its normalised live-in register
+	// count reaches θ and its destination is not provably masked. θ <= 0
+	// protects everything (bit-identical to SRT).
+	AdaptiveThreshold float64
 
 	// MaxCycles caps the run (0 = derived from the budget).
 	MaxCycles uint64
@@ -124,6 +164,15 @@ type Machine struct {
 	// snapHint remembers the last snapshot's encoded size so the next one
 	// preallocates its buffer instead of growing into it.
 	snapHint int
+
+	// Recoveries and RecoveryCycles account SRTR rollbacks: how many the
+	// run performed and the total cycles re-executed (trigger cycle minus
+	// restored checkpoint cycle, summed). Engine-level run accounting,
+	// deliberately outside snapshots: a rolled-back machine is
+	// byte-identical to the fault-free one, and these fields are the only
+	// record that a recovery happened.
+	Recoveries     int
+	RecoveryCycles uint64
 }
 
 // Build assembles the machine described by spec.
@@ -183,13 +232,23 @@ func Build(spec Spec) (*Machine, error) {
 		}
 		core.FinalizeQueues()
 
-	case ModeSRT:
+	case ModeSRT, ModeSRTR, ModeAdaptive:
 		core := pipeline.NewCore(0, cfg, nil)
 		m.Cores = append(m.Cores, core)
 		for i, name := range spec.Programs {
 			lead, trail, pair, err := newPair(name, i, spec, rmt.SRTLatencies(), cfg)
 			if err != nil {
 				return nil, err
+			}
+			switch spec.Mode {
+			case ModeSRTR:
+				pair.RVQ = rmt.NewRVQ(cfg.RVQSize)
+			case ModeAdaptive:
+				tbl, err := adaptiveTable(name, spec.AdaptiveThreshold)
+				if err != nil {
+					return nil, err
+				}
+				pair.Protect = tbl
 			}
 			core.AddContext(lead)
 			core.AddContext(trail)
@@ -313,13 +372,21 @@ func buildCRT(m *Machine, spec Spec, cfg pipeline.Config, core0, core1 *pipeline
 	return nil
 }
 
-// Run executes the simulation to completion of all budgets.
+// Run executes the simulation to completion of all budgets. In SRTR mode
+// the run is segmented by checkpoint boundaries and detections roll the
+// machine back instead of ending it (see recovery.go).
 func (m *Machine) Run() (*stats.RunStats, error) {
 	maxCycles := m.Spec.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = (m.Spec.Warmup+m.Spec.Budget)*60 + 500000
 	}
-	rs, err := m.Machine.Run(maxCycles)
+	var rs *stats.RunStats
+	var err error
+	if m.Spec.Mode == ModeSRTR {
+		rs, err = m.runSRTR(maxCycles)
+	} else {
+		rs, err = m.Machine.Run(maxCycles)
+	}
 	if err != nil {
 		return rs, err
 	}

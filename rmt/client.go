@@ -37,27 +37,32 @@ func NewClient(baseURL string) *Client {
 // import DAG). ClientContractBody in the server's e2e battery pins the
 // two encodings together.
 type specWire struct {
-	Mode              string   `json:"mode"`
-	Programs          []string `json:"programs"`
-	PSR               bool     `json:"psr"`
-	PerThreadSQ       bool     `json:"per_thread_sq"`
-	NoStoreComparison bool     `json:"no_store_comparison"`
-	CheckerLatency    uint64   `json:"checker_latency"`
+	Mode               string   `json:"mode"`
+	Programs           []string `json:"programs"`
+	PSR                bool     `json:"psr"`
+	PerThreadSQ        bool     `json:"per_thread_sq"`
+	NoStoreComparison  bool     `json:"no_store_comparison"`
+	CheckerLatency     uint64   `json:"checker_latency"`
+	AdaptiveThreshold  float64  `json:"adaptive_threshold"`
+	CheckpointInterval uint64   `json:"checkpoint_interval"`
 }
 
 func toWire(s Spec) specWire {
 	return specWire{
-		Mode:              s.Mode.String(),
-		Programs:          s.Programs,
-		PSR:               s.PSR,
-		PerThreadSQ:       s.PerThreadSQ,
-		NoStoreComparison: s.NoStoreComparison,
-		CheckerLatency:    s.CheckerLatency,
+		Mode:               s.Mode.String(),
+		Programs:           s.Programs,
+		PSR:                s.PSR,
+		PerThreadSQ:        s.PerThreadSQ,
+		NoStoreComparison:  s.NoStoreComparison,
+		CheckerLatency:     s.CheckerLatency,
+		AdaptiveThreshold:  s.AdaptiveThreshold,
+		CheckpointInterval: s.CheckpointInterval,
 	}
 }
 
 // CampaignSpec describes a /campaign request: a deterministic
-// transient-fault injection campaign on an RMT mode (SRT or CRT).
+// transient-fault injection campaign on an RMT mode (SRT, CRT, SRTR or
+// Adaptive).
 type CampaignSpec struct {
 	Spec Spec
 	// N is the number of injection trials; Seed draws the fault plan.
@@ -67,13 +72,22 @@ type CampaignSpec struct {
 
 // CampaignSummary is the daemon's campaign report.
 type CampaignSummary struct {
-	Runs                int     `json:"runs"`
-	Detected            int     `json:"detected"`
-	Masked              int     `json:"masked"`
-	NotFired            int     `json:"not_fired"`
+	Runs     int `json:"runs"`
+	Detected int `json:"detected"`
+	Masked   int `json:"masked"`
+	NotFired int `json:"not_fired"`
+	// Recovered counts trials where SRTR rolled back to a validated
+	// checkpoint and reconverged with the fault-free run; UnprotectedSDC
+	// counts adaptive-mode trials where a flip outside the protected
+	// region silently corrupted architectural state.
+	Recovered           int     `json:"recovered"`
+	UnprotectedSDC      int     `json:"unprotected_sdc"`
 	Coverage            float64 `json:"coverage"`
 	MeanDetectionCycles float64 `json:"mean_detection_cycles"`
-	TotalCycles         uint64  `json:"total_cycles"`
+	// MeanRecoveryCycles is the mean rollback re-execution distance over
+	// recovered trials.
+	MeanRecoveryCycles float64 `json:"mean_recovery_cycles"`
+	TotalCycles        uint64  `json:"total_cycles"`
 	// Outcomes lists per-trial classifications in trial order.
 	Outcomes []string `json:"outcomes"`
 }

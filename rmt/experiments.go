@@ -97,6 +97,8 @@ func Experiments() []Experiment {
 		{"fig11", "lockstep vs CRT, two logical threads", exp.Fig11},
 		{"fig12", "lockstep vs CRT, four logical threads", exp.Fig12},
 		{"coverage", "fault-injection campaigns", exp.Coverage},
+		{"recovery", "SRTR rollback latency vs checkpoint interval", exp.FigRecovery},
+		{"adaptive", "adaptive partial-redundancy frontier", exp.FigAdaptive},
 	}
 }
 

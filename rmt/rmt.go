@@ -58,6 +58,15 @@ const (
 	// CRT runs leading and trailing copies on different cores of a
 	// two-way CMP, cross-coupled for multiprogram workloads.
 	CRT
+	// SRTR extends SRT with recovery: a register value queue cross-checks
+	// every retired result, validated checkpoints are kept on a fixed
+	// cycle grid, and a detected fault rolls the machine back instead of
+	// halting it.
+	SRTR
+	// Adaptive is SRT with partial redundancy: instructions whose static
+	// vulnerability falls below Spec.AdaptiveThreshold run outside the
+	// sphere of replication (untagged, uncompared).
+	Adaptive
 )
 
 func (m Mode) String() string {
@@ -80,19 +89,28 @@ func (m Mode) internal() (sim.Mode, error) {
 		return sim.ModeLockstep, nil
 	case CRT:
 		return sim.ModeCRT, nil
+	case SRTR:
+		return sim.ModeSRTR, nil
+	case Adaptive:
+		return sim.ModeAdaptive, nil
 	}
 	return 0, fmt.Errorf("rmt: unknown mode %d", int(m))
 }
 
-// ParseMode maps a mode name ("base", "base2", "srt", "lockstep", "crt")
-// to its Mode — the inverse of Mode.String, shared by the cmd/ tools.
+// Modes lists every machine organisation the facade exposes, in the same
+// order internal/sim enumerates them.
+func Modes() []Mode { return []Mode{Base, Base2, SRT, Lockstep, CRT, SRTR, Adaptive} }
+
+// ParseMode maps a mode name ("base", "base2", "srt", "lockstep", "crt",
+// "srtr", "adaptive") to its Mode — the inverse of Mode.String, shared by
+// the cmd/ tools.
 func ParseMode(s string) (Mode, error) {
-	for _, m := range []Mode{Base, Base2, SRT, Lockstep, CRT} {
+	for _, m := range Modes() {
 		if m.String() == s {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("rmt: unknown mode %q (want base, base2, srt, lockstep or crt)", s)
+	return 0, fmt.Errorf("rmt: unknown mode %q (want base, base2, srt, lockstep, crt, srtr or adaptive)", s)
 }
 
 // Spec selects a machine organisation and workload. Sizing (budget,
@@ -113,6 +131,14 @@ type Spec struct {
 	// CheckerLatency is the lockstep checker delay in cycles (0 = Lock0,
 	// 8 = Lock8). Ignored outside Lockstep mode.
 	CheckerLatency uint64
+	// AdaptiveThreshold is the Adaptive-mode protection cutoff θ in [0,1]:
+	// instructions whose normalised static vulnerability falls below θ run
+	// outside the sphere of replication. 0 protects everything (exactly
+	// SRT). Ignored outside Adaptive mode.
+	AdaptiveThreshold float64
+	// CheckpointInterval is the SRTR checkpoint grid in cycles (0 = the
+	// engine default, 1024). Ignored outside SRTR mode.
+	CheckpointInterval uint64
 }
 
 // config collects the option-controlled execution parameters.
@@ -415,16 +441,18 @@ func runOne(ctx context.Context, spec Spec, c config) (*Result, error) {
 	}
 	budget, warmup := c.sizes()
 	simSpec := sim.Spec{
-		Mode:              im,
-		Programs:          spec.Programs,
-		Budget:            budget,
-		Warmup:            warmup,
-		Config:            pipeline.DefaultConfig(),
-		PSR:               spec.PSR,
-		PerThreadSQ:       spec.PerThreadSQ,
-		NoStoreComparison: spec.NoStoreComparison,
-		CheckerLatency:    spec.CheckerLatency,
-		VM:                c.vmConfig(),
+		Mode:               im,
+		Programs:           spec.Programs,
+		Budget:             budget,
+		Warmup:             warmup,
+		Config:             pipeline.DefaultConfig(),
+		PSR:                spec.PSR,
+		PerThreadSQ:        spec.PerThreadSQ,
+		NoStoreComparison:  spec.NoStoreComparison,
+		CheckerLatency:     spec.CheckerLatency,
+		AdaptiveThreshold:  spec.AdaptiveThreshold,
+		CheckpointInterval: spec.CheckpointInterval,
+		VM:                 c.vmConfig(),
 	}
 	var m *sim.Machine
 	if c.resume != nil {

@@ -164,8 +164,8 @@ func TestKernels(t *testing.T) {
 // render carries the machine parameters.
 func TestExperimentsFacade(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 8 {
-		t.Fatalf("want 8 experiments, got %d", len(exps))
+	if len(exps) != 10 {
+		t.Fatalf("want 10 experiments, got %d", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
@@ -174,7 +174,7 @@ func TestExperimentsFacade(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"fig6", "fig12", "coverage"} {
+	for _, want := range []string{"fig6", "fig12", "coverage", "recovery", "adaptive"} {
 		if !ids[want] {
 			t.Errorf("experiments missing %s", want)
 		}

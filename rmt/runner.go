@@ -74,15 +74,17 @@ func Campaign(ctx context.Context, cs CampaignSpec, opts ...Option) (*CampaignSu
 		warmup = DefaultCampaignWarmup
 	}
 	spec := sim.Spec{
-		Mode:              im,
-		Programs:          cs.Spec.Programs,
-		Budget:            budget,
-		Warmup:            warmup,
-		Config:            pipeline.DefaultConfig(),
-		PSR:               cs.Spec.PSR,
-		PerThreadSQ:       cs.Spec.PerThreadSQ,
-		NoStoreComparison: cs.Spec.NoStoreComparison,
-		VM:                c.vmConfig(),
+		Mode:               im,
+		Programs:           cs.Spec.Programs,
+		Budget:             budget,
+		Warmup:             warmup,
+		Config:             pipeline.DefaultConfig(),
+		PSR:                cs.Spec.PSR,
+		PerThreadSQ:        cs.Spec.PerThreadSQ,
+		NoStoreComparison:  cs.Spec.NoStoreComparison,
+		AdaptiveThreshold:  cs.Spec.AdaptiveThreshold,
+		CheckpointInterval: cs.Spec.CheckpointInterval,
+		VM:                 c.vmConfig(),
 	}
 	fopts := fault.CampaignOptions{
 		Parallelism:           c.parallelism,
@@ -103,8 +105,11 @@ func Campaign(ctx context.Context, cs CampaignSpec, opts ...Option) (*CampaignSu
 		Detected:            sum.Detected,
 		Masked:              sum.Masked,
 		NotFired:            sum.NotFired,
+		Recovered:           sum.Recovered,
+		UnprotectedSDC:      sum.UnprotectedSDC,
 		Coverage:            sum.Coverage(),
 		MeanDetectionCycles: sum.MeanDetectionCycles,
+		MeanRecoveryCycles:  sum.MeanRecoveryCycles,
 		TotalCycles:         sum.TotalCycles,
 		Outcomes:            make([]string, 0, len(sum.Results)),
 	}
